@@ -1,0 +1,176 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section (see DESIGN.md section 5 for the experiment index). Each
+// benchmark runs its experiment driver once per b.N iteration and logs the
+// paper-style series; `go test -bench=. -benchmem` therefore reproduces
+// the whole evaluation at the REPRO_SCALE dataset scale (tiny, small or
+// default; default env value is "small").
+//
+// Run a single figure with e.g.:
+//
+//	go test -bench=BenchmarkFig5a -benchtime=1x
+package repro_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/report"
+)
+
+// benchScale selects the dataset scale from REPRO_SCALE.
+func benchScale() experiments.Scale {
+	switch strings.ToLower(os.Getenv("REPRO_SCALE")) {
+	case "tiny":
+		return experiments.Tiny
+	case "default", "full":
+		return experiments.Default
+	default:
+		return experiments.Small
+	}
+}
+
+// logTables renders tables into the benchmark log on the final iteration.
+func logTables(b *testing.B, i int, tables ...*report.Table) {
+	b.Helper()
+	if i != b.N-1 {
+		return
+	}
+	var sb strings.Builder
+	for _, t := range tables {
+		t.Render(&sb)
+	}
+	b.Log("\n" + sb.String())
+}
+
+func BenchmarkFig2_AllocatorMicrobench(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(s)
+		logTables(b, i, r.RenderTime(), r.RenderOverhead())
+	}
+}
+
+func BenchmarkFig3_AffinityVariance(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkTable3_PlacementProfile(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig4_SparseVsDense(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig5a_AutoNUMA(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5a(s)
+		logTables(b, i, r.Render(), r.RenderLAR())
+	}
+}
+
+func BenchmarkFig5c_THP(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5c(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig5d_Machines(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5d(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig6_W1_Allocators(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6W1(s, "A")
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig6_W2_Allocators(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6W2(s, "A")
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig6_W3_Allocators(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6W3(s, "A")
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig6j_Distributions(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6j(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig7_INLJ_Indexes(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		var tabs []*report.Table
+		for _, k := range index.Kinds() {
+			tabs = append(tabs, experiments.Fig7(s, k).Render())
+		}
+		tabs = append(tabs, experiments.Fig7e(s).Render())
+		logTables(b, i, tabs...)
+	}
+}
+
+func BenchmarkFig8_TPCH(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig9_TPCHAllocators(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig10_Advisor(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(s)
+		logTables(b, i, r.Render())
+	}
+}
+
+func BenchmarkTable2_MachineSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, i, experiments.Table2())
+	}
+}

@@ -1,0 +1,96 @@
+// Command advisor is the paper's Figure 10 decision flowchart as a CLI: it
+// takes the workload's traits as flags and prints a recommended
+// configuration with the reasoning for each choice. Optionally it
+// validates the advice by running the W1 aggregation kernel under both the
+// OS default and the recommendation on a simulated machine.
+//
+// Usage:
+//
+//	advisor -bandwidth-bound -superuser -alloc-heavy
+//	advisor -alloc-heavy -mem-constrained -validate -machine A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/query"
+)
+
+func main() {
+	var tr core.Traits
+	flag.BoolVar(&tr.ThreadPlacementManaged, "placement-managed", false,
+		"the application already pins its threads")
+	flag.BoolVar(&tr.MemoryBandwidthBound, "bandwidth-bound", false,
+		"the workload is memory-bandwidth bound")
+	flag.BoolVar(&tr.SuperuserAccess, "superuser", false,
+		"kernel switches (AutoNUMA, THP) can be changed")
+	flag.BoolVar(&tr.MemoryPlacementDefined, "placement-defined", false,
+		"the application already sets a memory placement policy")
+	flag.BoolVar(&tr.AllocationHeavy, "alloc-heavy", false,
+		"the workload allocates and frees intensively")
+	flag.BoolVar(&tr.FreeMemoryConstrained, "mem-constrained", false,
+		"free memory headroom is tight")
+	validate := flag.Bool("validate", false,
+		"run W1 under the OS default and the recommendation to verify the speedup")
+	mc := flag.String("machine", "A", "machine for -validate: A, B or C")
+	flag.Parse()
+
+	rec := core.Advise(tr)
+	fmt.Println("Recommended configuration:")
+	fmt.Printf("  thread placement:  %s\n", rec.Placement)
+	fmt.Printf("  memory placement:  %s\n", rec.Policy)
+	fmt.Printf("  AutoNUMA:          %s\n", onOff(!rec.DisableAutoNUMA))
+	fmt.Printf("  THP:               %s\n", onOff(!rec.DisableTHP))
+	fmt.Printf("  allocator:         %s\n", rec.Allocator)
+	fmt.Println("Reasoning:")
+	for _, r := range rec.Rationale {
+		fmt.Printf("  - %s\n", r)
+	}
+
+	if !*validate {
+		return
+	}
+	spec, err := specFor(*mc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nValidating on %s (W1 aggregation kernel)...\n", spec.Name)
+	run := func(cfg machine.RunConfig) float64 {
+		m := machine.New(spec)
+		m.Configure(cfg)
+		recs := datagen.MovingCluster(300_000, 40_000, 11)
+		out := query.Aggregate(m, query.AggregationSpec{Records: recs, Cardinality: 40_000, Holistic: true})
+		return out.Result.WallCycles
+	}
+	threads := spec.HardwareThreads()
+	def := run(machine.DefaultConfig(threads))
+	adv := run(rec.Apply(threads))
+	fmt.Printf("  OS default:   %.3f billion cycles\n", def/1e9)
+	fmt.Printf("  recommended:  %.3f billion cycles\n", adv/1e9)
+	fmt.Printf("  latency reduction: %.1f%%\n", core.Speedup(def, adv)*100)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on (default)"
+	}
+	return "off"
+}
+
+func specFor(mc string) (machine.Spec, error) {
+	switch mc {
+	case "A", "a":
+		return machine.SpecA(), nil
+	case "B", "b":
+		return machine.SpecB(), nil
+	case "C", "c":
+		return machine.SpecC(), nil
+	}
+	return machine.Spec{}, fmt.Errorf("unknown machine %q", mc)
+}

@@ -1,0 +1,139 @@
+// Command tpchbench runs the W5 TPC-H workload on the simulated database
+// engines: all 22 queries (or a selection) under the OS default and the
+// paper's tuned configuration, reporting per-query latency reductions
+// (Figure 8), or a single engine's latencies per allocator (Figure 9
+// style).
+//
+// Usage:
+//
+//	tpchbench -sf 0.005                       # Figure 8 on all engines
+//	tpchbench -sf 0.005 -engine MonetDB -q 5,18 -allocators
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/tpch"
+	"repro/internal/vmm"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
+	engine := flag.String("engine", "", "restrict to one engine profile")
+	queriesFlag := flag.String("q", "", "comma-separated query numbers (default: all 22)")
+	allocators := flag.Bool("allocators", false, "sweep allocators instead of default-vs-tuned (needs -engine)")
+	warm := flag.Int("warm", 2, "warm runs per query")
+	seed := flag.Uint64("seed", 41, "dataset seed")
+	flag.Parse()
+
+	queries, err := parseQueries(*queriesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(2)
+	}
+	db := tpch.Generate(*sf, *seed)
+	fmt.Fprintf(os.Stderr, "generated TPC-H SF %v: %d lineitems, %d orders\n",
+		*sf, len(db.Lineitems), len(db.Orders))
+
+	if *allocators {
+		if *engine == "" {
+			fmt.Fprintln(os.Stderr, "tpchbench: -allocators requires -engine")
+			os.Exit(2)
+		}
+		sweepAllocators(db, *engine, queries, *warm)
+		return
+	}
+
+	profiles := tpch.Profiles()
+	if *engine != "" {
+		profiles = []tpch.Profile{tpch.ProfileByName(*engine)}
+	}
+	tab := &report.Table{Title: "TPC-H latency reduction, tuned vs default (Machine A)"}
+	tab.Header = []string{"query"}
+	for _, p := range profiles {
+		tab.Header = append(tab.Header, p.Name)
+	}
+	spec := machine.SpecA()
+	results := map[string]map[int]float64{}
+	for _, p := range profiles {
+		defCfg := machine.DefaultConfig(spec.HardwareThreads())
+		defCfg.Seed = 9
+		tuned := machine.RunConfig{
+			Threads:   spec.HardwareThreads(),
+			Placement: machine.PlaceSparse,
+			Policy:    vmm.FirstTouch,
+			Allocator: "tbbmalloc",
+			Seed:      1,
+			THP:       p.Name == "DBMSx",
+		}
+		defH := tpch.NewHarness(spec, p, defCfg, db, *warm)
+		tunedH := tpch.NewHarness(spec, p, tuned, db, *warm)
+		results[p.Name] = map[int]float64{}
+		for _, q := range queries {
+			d, _ := defH.Measure(q)
+			u, _ := tunedH.Measure(q)
+			results[p.Name][q] = (d - u) / d
+		}
+	}
+	for _, q := range queries {
+		cells := []interface{}{"Q" + strconv.Itoa(q)}
+		for _, p := range profiles {
+			cells = append(cells, report.Pct(results[p.Name][q]))
+		}
+		tab.AddRow(cells...)
+	}
+	tab.Render(os.Stdout)
+}
+
+func sweepAllocators(db *tpch.DB, engine string, queries []int, warm int) {
+	prof := tpch.ProfileByName(engine)
+	spec := machine.SpecA()
+	tab := &report.Table{Title: engine + " query latency by allocator (billion cycles)"}
+	tab.Header = []string{"allocator"}
+	for _, q := range queries {
+		tab.Header = append(tab.Header, "Q"+strconv.Itoa(q))
+	}
+	for _, name := range alloc.WorkloadNames() {
+		cfg := machine.RunConfig{
+			Threads:   spec.HardwareThreads(),
+			Placement: machine.PlaceSparse,
+			Policy:    vmm.FirstTouch,
+			Allocator: name,
+			Seed:      1,
+		}
+		h := tpch.NewHarness(spec, prof, cfg, db, warm)
+		cells := []interface{}{name}
+		for _, q := range queries {
+			wall, _ := h.Measure(q)
+			cells = append(cells, report.Billions(wall))
+		}
+		tab.AddRow(cells...)
+	}
+	tab.Render(os.Stdout)
+}
+
+func parseQueries(s string) ([]int, error) {
+	if s == "" {
+		qs := make([]int, tpch.NumQueries)
+		for i := range qs {
+			qs[i] = i + 1
+		}
+		return qs, nil
+	}
+	var qs []int
+	for _, part := range strings.Split(s, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || q < 1 || q > tpch.NumQueries {
+			return nil, fmt.Errorf("bad query number %q", part)
+		}
+		qs = append(qs, q)
+	}
+	return qs, nil
+}

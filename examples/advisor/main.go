@@ -1,0 +1,60 @@
+// Advisor: use the paper's Figure 10 decision flowchart programmatically.
+// Three practitioner scenarios are run through the advisor and each
+// recommendation is validated by measuring the recommended configuration
+// against the OS default on the simulated Machine C.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	scenarios := []struct {
+		name   string
+		traits repro.Traits
+	}{
+		{
+			"analytics cluster (root, bandwidth-bound, join-heavy)",
+			repro.Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true},
+		},
+		{
+			"shared host (no root, memory-constrained ETL)",
+			repro.Traits{AllocationHeavy: true, FreeMemoryConstrained: true},
+		},
+		{
+			"cache-friendly scan service (already pinned)",
+			repro.Traits{ThreadPlacementManaged: true},
+		},
+	}
+	for _, sc := range scenarios {
+		rec := repro.Advise(sc.traits)
+		fmt.Printf("%s:\n", sc.name)
+		fmt.Printf("  -> %s placement, %s policy, allocator %s, AutoNUMA off=%v, THP off=%v\n",
+			rec.Placement, rec.Policy, rec.Allocator, rec.DisableAutoNUMA, rec.DisableTHP)
+		for _, why := range rec.Rationale {
+			fmt.Printf("     . %s\n", why)
+		}
+		fmt.Println()
+	}
+
+	// Validate the first recommendation end to end on Machine C (64 HW
+	// threads), using the W1 aggregation workload.
+	rec := repro.Advise(scenarios[0].traits)
+	recs := repro.MovingCluster(200_000, 25_000, 3)
+	measure := func(cfg repro.RunConfig) float64 {
+		m := repro.NewMachineC()
+		m.Configure(cfg)
+		return repro.Aggregate(m, repro.AggregationSpec{
+			Records: recs, Cardinality: 25_000, Holistic: true,
+		}).Result.WallCycles
+	}
+	threads := repro.SpecC().HardwareThreads()
+	def := measure(repro.DefaultConfig(threads))
+	adv := measure(rec.Apply(threads))
+	fmt.Printf("validation on Machine C (%d threads):\n", threads)
+	fmt.Printf("  OS default  %8.3f billion cycles\n", def/1e9)
+	fmt.Printf("  advised     %8.3f billion cycles  (%.1f%% faster)\n",
+		adv/1e9, repro.Speedup(def, adv)*100)
+}

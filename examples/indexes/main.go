@@ -1,0 +1,40 @@
+// Index nested-loop join (W4): build each of the four in-memory indexes
+// (ART, Masstree, B+tree, Skip List) over the primary table and probe it
+// with the 16x foreign table, comparing build and join times and the
+// effect of the memory allocator — the paper's Figure 7.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	tables := repro.JoinData(30_000, 16, 17)
+	fmt.Printf("join dataset: |R| = %d, |S| = %d\n\n", len(tables.R), len(tables.S))
+
+	kinds := []repro.IndexKind{repro.ART, repro.Masstree, repro.BTree, repro.SkipList}
+
+	fmt.Println("Build and join times at the tuned configuration (billion cycles):")
+	fmt.Printf("  %-10s %10s %10s %10s\n", "index", "build", "join", "total")
+	for _, kind := range kinds {
+		m := repro.NewMachineA()
+		m.Configure(repro.TunedConfig(16))
+		out := repro.IndexJoin(m, kind, tables)
+		fmt.Printf("  %-10s %10.3f %10.3f %10.3f\n", kind,
+			out.BuildCycles/1e9, out.ProbeCycles/1e9,
+			(out.BuildCycles+out.ProbeCycles)/1e9)
+	}
+
+	fmt.Println("\nART join time by allocator (it requests the widest size-class mix):")
+	for _, a := range []string{"ptmalloc", "jemalloc", "Hoard", "tbbmalloc"} {
+		m := repro.NewMachineA()
+		cfg := repro.TunedConfig(16)
+		cfg.Allocator = a
+		m.Configure(cfg)
+		out := repro.IndexJoin(m, repro.ART, tables)
+		fmt.Printf("  %-10s %10.3f billion cycles (%d matches)\n",
+			a, out.ProbeCycles/1e9, out.Matches)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: build the paper's Machine A, run the holistic aggregation
+// workload (W1) under the out-of-the-box OS configuration and under the
+// paper's tuned configuration, and print the speedup — the headline
+// experiment of the reproduction in ~30 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const (
+		records     = 300_000
+		cardinality = 40_000
+		threads     = 16
+	)
+	dataset := repro.MovingCluster(records, cardinality, 1)
+	run := func(label string, cfg repro.RunConfig) float64 {
+		m := repro.NewMachineA()
+		m.Configure(cfg)
+		out := repro.Aggregate(m, repro.AggregationSpec{
+			Records:     dataset,
+			Cardinality: cardinality,
+			Holistic:    true,
+		})
+		fmt.Printf("%-22s %8.3f billion cycles  (%d groups, LAR %.2f)\n",
+			label, out.Result.WallCycles/1e9, out.Groups, out.Result.Counters.LAR())
+		return out.Result.WallCycles
+	}
+
+	def := run("OS default:", repro.DefaultConfig(threads))
+	tuned := run("tuned (Figure 10):", repro.TunedConfig(threads))
+	fmt.Printf("\nlatency reduction: %.1f%%\n", repro.Speedup(def, tuned)*100)
+}

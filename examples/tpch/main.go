@@ -1,0 +1,42 @@
+// TPC-H tuning (W5): run a selection of TPC-H queries on two very
+// different simulated engines — MonetDB (columnar, fully parallel,
+// materializing) and MySQL (row store, single-threaded queries) — under
+// the OS default and the paper's tuned configuration, reproducing the
+// Figure 8 observation that engine architecture decides how much the same
+// OS-level tuning helps.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	db := repro.GenerateTPCH(0.002, 41)
+	fmt.Printf("TPC-H SF 0.002: %d lineitems, %d orders, %d customers\n\n",
+		len(db.Lineitems), len(db.Orders), len(db.Customers))
+
+	queries := []int{1, 5, 6, 18}
+	spec := repro.SpecA()
+
+	for _, engine := range []string{"MonetDB", "MySQL"} {
+		prof := repro.EngineByName(engine)
+		defCfg := repro.DefaultConfig(spec.HardwareThreads())
+		defCfg.Seed = 9
+		tuned := repro.TunedConfig(spec.HardwareThreads())
+		tuned.Policy = repro.FirstTouch // the paper's W5 tuning keeps First Touch
+
+		defH := repro.NewTPCHHarness(spec, prof, defCfg, db, 2)
+		tunedH := repro.NewTPCHHarness(spec, prof, tuned, db, 2)
+
+		fmt.Printf("%s:\n", engine)
+		for _, q := range queries {
+			d, _ := defH.Measure(q)
+			u, res := tunedH.Measure(q)
+			fmt.Printf("  Q%-2d  default %8.3fB  tuned %8.3fB  (%.1f%% faster, check %d)\n",
+				q, d/1e9, u/1e9, repro.Speedup(d, u)*100, res.Check)
+		}
+		fmt.Println()
+	}
+}

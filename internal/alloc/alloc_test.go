@@ -1,0 +1,364 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/vmm"
+)
+
+// fakeEnv backs allocator tests with a real vmm but no cost accounting.
+type fakeEnv struct {
+	mem     *vmm.Memory
+	touched uint64
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{mem: vmm.New(topology.MachineB(), 1<<32)}
+}
+
+func (e *fakeEnv) Reserve(bytes uint64, owner topology.NodeID) vmm.Range {
+	return e.mem.Reserve(bytes, owner)
+}
+
+func (e *fakeEnv) UnmapRange(base, bytes uint64) { e.mem.UnmapRange(base, bytes) }
+
+func (e *fakeEnv) Touch(base, bytes uint64, owner topology.NodeID) {
+	for a := base &^ uint64(vmm.PageSize-1); a < base+bytes; a += vmm.PageSize {
+		e.mem.Fault(a, owner)
+		e.touched++
+	}
+}
+
+func (e *fakeEnv) Nodes() int { return 4 }
+
+type fakeThread struct {
+	id   int
+	node topology.NodeID
+}
+
+func (t fakeThread) ID() int               { return t.id }
+func (t fakeThread) Node() topology.NodeID { return t.node }
+
+func TestClassSizes(t *testing.T) {
+	if ClassSize(0) == 0 {
+		t.Error("zero-byte request must round up")
+	}
+	for _, size := range []uint64{1, 8, 16, 17, 100, 1000, 4096, 30000, LargeThreshold} {
+		cs := ClassSize(size)
+		if cs < size {
+			t.Errorf("ClassSize(%d) = %d, smaller than request", size, cs)
+		}
+		if cs > 2*size && size >= 16 {
+			t.Errorf("ClassSize(%d) = %d, more than 2x fragmentation", size, cs)
+		}
+	}
+	// Large sizes round to pages.
+	if cs := ClassSize(LargeThreshold + 1); cs%vmm.PageSize != 0 {
+		t.Errorf("large ClassSize = %d, not page aligned", cs)
+	}
+}
+
+func TestClassSizesMonotonic(t *testing.T) {
+	for i := 1; i < len(classSizes); i++ {
+		if classSizes[i] <= classSizes[i-1] {
+			t.Fatalf("class sizes not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestContendedWait(t *testing.T) {
+	if contendedWait(1, 100) != 0 {
+		t.Error("single sharer must not wait")
+	}
+	w2, w4, w8 := contendedWait(2, 100), contendedWait(4, 100), contendedWait(8, 100)
+	if !(w2 < w4 && w4 < w8) {
+		t.Errorf("wait must grow with sharers: %v %v %v", w2, w4, w8)
+	}
+	if w8/w4 < 2 {
+		t.Errorf("wait growth should be superlinear: w8/w4 = %v", w8/w4)
+	}
+	if contendedWait(1000, 100) > 100*60+1 {
+		t.Error("wait must be capped")
+	}
+}
+
+// allocFreeRoundTrip exercises every allocator with a mixed workload and
+// checks the invariants that matter: no overlapping live allocations,
+// stable stats accounting, and address reuse after free.
+func TestAllAllocatorsRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := newFakeEnv()
+			a := New(name)
+			a.Attach(env, 4)
+			type obj struct{ addr, size uint64 }
+			live := make(map[uint64]obj) // base addr -> obj
+			threads := []fakeThread{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+			sizes := []uint64{16, 24, 100, 500, 4000, 40000}
+			var seq []obj
+			for i := 0; i < 2000; i++ {
+				th := threads[i%4]
+				size := sizes[i%len(sizes)]
+				addr, cycles := a.Malloc(th, size)
+				if cycles <= 0 {
+					t.Fatalf("malloc cost must be positive, got %v", cycles)
+				}
+				// Live allocations must not overlap.
+				end := addr + ClassSize(size)
+				for _, o := range live {
+					oEnd := o.addr + ClassSize(o.size)
+					if addr < oEnd && o.addr < end {
+						t.Fatalf("overlap: new [%#x,%#x) with live [%#x,%#x)", addr, end, o.addr, oEnd)
+					}
+				}
+				live[addr] = obj{addr, size}
+				seq = append(seq, obj{addr, size})
+				if i%3 == 2 { // free the oldest live allocation
+					o := seq[0]
+					seq = seq[1:]
+					if _, ok := live[o.addr]; ok {
+						delete(live, o.addr)
+						if c := a.Free(threads[(i+1)%4], o.addr, o.size); c <= 0 {
+							t.Fatalf("free cost must be positive, got %v", c)
+						}
+					}
+				}
+			}
+			st := a.Stats()
+			if st.Mallocs != 2000 {
+				t.Errorf("mallocs = %d, want 2000", st.Mallocs)
+			}
+			if st.Frees == 0 {
+				t.Error("no frees recorded")
+			}
+			if st.LiveBytes > st.PeakLiveBytes {
+				t.Error("live exceeds peak")
+			}
+		})
+	}
+}
+
+func TestAddressReuse(t *testing.T) {
+	env := newFakeEnv()
+	a := New("tbbmalloc")
+	a.Attach(env, 1)
+	th := fakeThread{0, 0}
+	addr1, _ := a.Malloc(th, 64)
+	a.Free(th, addr1, 64)
+	addr2, _ := a.Malloc(th, 64)
+	if addr1 != addr2 {
+		t.Errorf("LIFO free list should reuse the freed address: %#x vs %#x", addr1, addr2)
+	}
+}
+
+func TestFastPathCheaperThanSlow(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		env := newFakeEnv()
+		a := New(name)
+		a.Attach(env, 16)
+		th := fakeThread{0, 0}
+		_, coldCost := a.Malloc(th, 64) // first call: new slab, slow path
+		addr, _ := a.Malloc(th, 64)
+		a.Free(th, addr, 64)
+		_, warmCost := a.Malloc(th, 64) // reuse: fast path
+		if warmCost >= coldCost {
+			t.Errorf("%s: warm malloc (%v) should be cheaper than cold (%v)", name, warmCost, coldCost)
+		}
+	}
+}
+
+// perOpCost runs a mixed growth+churn pattern (as the Figure 2a
+// microbenchmark does) and returns mean cycles per operation.
+func perOpCost(name string, threads int) float64 {
+	env := newFakeEnv()
+	a := New(name)
+	a.Attach(env, threads)
+	total := 0.0
+	ops := 0
+	ths := make([]fakeThread, threads)
+	for i := range ths {
+		ths[i] = fakeThread{i, topology.NodeID(i % 4)}
+	}
+	type obj struct {
+		addr, size uint64
+		tid        int
+	}
+	var window []obj
+	const iters = 6000
+	for i := 0; i < iters; i++ {
+		th := ths[i%threads]
+		size := uint64(16 + (i%12)*40)
+		addr, c := a.Malloc(th, size)
+		total += c
+		ops++
+		window = append(window, obj{addr, size, th.id})
+		// Hold a deep per-thread working set so growth phases hit the
+		// slow path, then churn the oldest entries.
+		if len(window) > threads*80 {
+			o := window[0]
+			window = window[1:]
+			total += a.Free(ths[o.tid], o.addr, o.size)
+			ops++
+		}
+	}
+	return total / float64(ops)
+}
+
+func TestScalingOrdering(t *testing.T) {
+	// Expected Figure 2a ordering at 16 threads: tbbmalloc and Hoard
+	// cheapest per op, ptmalloc/tcmalloc/supermalloc clearly pricier.
+	tbb := perOpCost("tbbmalloc", 16)
+	hoardCost := perOpCost("Hoard", 16)
+	jem := perOpCost("jemalloc", 16)
+	pt := perOpCost("ptmalloc", 16)
+	tcm := perOpCost("tcmalloc", 16)
+	sm := perOpCost("supermalloc", 16)
+	if !(tbb < pt && hoardCost < pt) {
+		t.Errorf("tbb (%v) and Hoard (%v) should beat ptmalloc (%v) at 16 threads", tbb, hoardCost, pt)
+	}
+	if !(jem < pt) {
+		t.Errorf("jemalloc (%v) should beat ptmalloc (%v) at 16 threads", jem, pt)
+	}
+	if !(tbb < tcm && tbb < sm) {
+		t.Errorf("tbbmalloc (%v) should beat tcmalloc (%v) and supermalloc (%v) at 16 threads", tbb, tcm, sm)
+	}
+	if !(pt < sm) {
+		t.Errorf("supermalloc (%v) should be the worst scaler, ptmalloc was %v", sm, pt)
+	}
+}
+
+func TestSingleThreadTcmallocFastest(t *testing.T) {
+	tcm := perOpCost("tcmalloc", 1)
+	for _, other := range []string{"ptmalloc", "jemalloc", "Hoard", "supermalloc"} {
+		if c := perOpCost(other, 1); tcm >= c {
+			t.Errorf("tcmalloc single-thread (%v) should beat %s (%v)", tcm, other, c)
+		}
+	}
+}
+
+func TestContentionGrowsWithThreads(t *testing.T) {
+	for _, name := range []string{"ptmalloc", "tcmalloc", "supermalloc"} {
+		c1, c16 := perOpCost(name, 1), perOpCost(name, 16)
+		if c16 < c1*1.2 {
+			t.Errorf("%s: per-op cost should degrade with threads: 1T=%v 16T=%v", name, c1, c16)
+		}
+	}
+	// The scalable allocators should degrade much less.
+	for _, name := range []string{"tbbmalloc", "Hoard"} {
+		c1, c16 := perOpCost(name, 1), perOpCost(name, 16)
+		if c16 > c1*2 {
+			t.Errorf("%s: should scale well: 1T=%v 16T=%v", name, c1, c16)
+		}
+	}
+}
+
+func TestTHPFriendliness(t *testing.T) {
+	friendly := map[string]bool{
+		"ptmalloc": true, "Hoard": true, "supermalloc": true, "mcmalloc": true,
+		"jemalloc": false, "tcmalloc": false, "tbbmalloc": false,
+	}
+	for name, want := range friendly {
+		if got := New(name).THPFriendly(); got != want {
+			t.Errorf("%s THPFriendly = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestPurgersReturnPages(t *testing.T) {
+	env := newFakeEnv()
+	a := New("jemalloc")
+	a.Attach(env, 1)
+	th := fakeThread{0, 0}
+	// Allocate a page-spanning batch, then free it: the sweep crosses
+	// pages, so the decay-based purger fires.
+	var addrs []uint64
+	for i := 0; i < 2000; i++ {
+		addr, _ := a.Malloc(th, 256)
+		env.mem.Fault(addr, 0) // user touches the object
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		a.Free(th, addr, 256)
+	}
+	if a.Stats().Purges == 0 {
+		t.Error("jemalloc should purge pages under a page-sweeping free pattern")
+	}
+}
+
+func TestPurgerSkipsHotPage(t *testing.T) {
+	env := newFakeEnv()
+	a := New("jemalloc")
+	a.Attach(env, 1)
+	th := fakeThread{0, 0}
+	// Back-to-back churn of one object never cools its page, so the
+	// decay purger must not fire (engine-style buffer reuse).
+	for i := 0; i < 500; i++ {
+		addr, _ := a.Malloc(th, 64)
+		a.Free(th, addr, 64)
+	}
+	if p := a.Stats().Purges; p != 0 {
+		t.Errorf("hot-page churn purged %d pages, want 0", p)
+	}
+}
+
+func TestMcmallocEagerCommit(t *testing.T) {
+	lazy := newFakeEnv()
+	la := New("tbbmalloc")
+	la.Attach(lazy, 8)
+	eager := newFakeEnv()
+	ea := New("mcmalloc")
+	ea.Attach(eager, 8)
+	for i := 0; i < 200; i++ {
+		th := fakeThread{i % 8, topology.NodeID(i % 4)}
+		la.Malloc(th, uint64(16+(i%10)*200))
+		ea.Malloc(th, uint64(16+(i%10)*200))
+	}
+	if eager.mem.MappedBytes() <= lazy.mem.MappedBytes() {
+		t.Errorf("mcmalloc eager commit should map more: %d vs %d",
+			eager.mem.MappedBytes(), lazy.mem.MappedBytes())
+	}
+}
+
+func TestUnknownAllocatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bogus")
+}
+
+func TestLargeAllocationLifecycle(t *testing.T) {
+	env := newFakeEnv()
+	a := New("ptmalloc")
+	a.Attach(env, 1)
+	th := fakeThread{0, 0}
+	addr, _ := a.Malloc(th, 1<<20)
+	env.Touch(addr, 1<<20, 0)
+	mapped := env.mem.MappedBytes()
+	if mapped < 1<<20 {
+		t.Fatalf("mapped = %d after touching 1MiB", mapped)
+	}
+	a.Free(th, addr, 1<<20)
+	if env.mem.MappedBytes() >= mapped {
+		t.Error("large free should unmap its pages")
+	}
+}
+
+func TestMallocAlignmentProperty(t *testing.T) {
+	env := newFakeEnv()
+	a := New("jemalloc")
+	a.Attach(env, 2)
+	f := func(sizeRaw uint16, tidRaw uint8) bool {
+		size := uint64(sizeRaw)%8192 + 1
+		th := fakeThread{int(tidRaw) % 2, 0}
+		addr, _ := a.Malloc(th, size)
+		return addr%16 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

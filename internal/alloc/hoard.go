@@ -1,0 +1,82 @@
+package alloc
+
+// hoard models the Hoard allocator: per-thread heaps made of fixed-size
+// superblocks, with a global heap ("the hoard") that absorbs mostly-empty
+// superblocks and hands them to other heaps. Nearly all operations stay on
+// the owning heap, so it scales well (Figure 2a); superblock granularity
+// retains freed memory per thread and class, which costs footprint
+// (Figure 2b). Hoard retains rather than madvises, so it coexists fine
+// with transparent hugepages.
+type hoard struct {
+	base
+	heaps      []*pool
+	index      *slabIndex
+	globalWait float64
+	importTick uint64
+}
+
+// hoardImportEvery models how often a new-superblock request escalates to
+// the global hoard lock instead of carving fresh memory locally.
+const hoardImportEvery = 16
+
+func newHoard() *hoard { return &hoard{} }
+
+func (a *hoard) Name() string      { return "Hoard" }
+func (a *hoard) THPFriendly() bool { return true }
+
+func (a *hoard) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	a.index = newSlabIndex()
+	a.heaps = make([]*pool, a.threads)
+	for i := range a.heaps {
+		a.heaps[i] = newPool(env, 4<<20, false) // 64KiB superblocks carved from 4MiB OS chunks
+		a.heaps[i].id = i
+		a.heaps[i].index = a.index
+	}
+	a.globalWait = contendedWait(a.threads, 60)
+}
+
+func (a *hoard) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		return a.largeAlloc(size, t.Node()), 400
+	}
+	c := classFor(size)
+	addr, src := a.heaps[t.ID()].alloc(c, t.Node())
+	switch src {
+	case srcFreeList:
+		return addr, 24
+	case srcBump:
+		return addr, 24 + 55 // next slot in the current superblock
+	}
+	// New superblock: usually fresh local memory; occasionally an import
+	// from the global hoard under its lock.
+	a.stats.SlowPaths++
+	cost := 22 + 55 + 1800.0
+	a.importTick++
+	if a.importTick%hoardImportEvery == 0 {
+		cost += 60 + a.globalWait
+		a.stats.LockWaitCycles += a.globalWait
+	}
+	return addr, cost
+}
+
+func (a *hoard) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 340
+	}
+	// Frees return to the owning superblock's heap; cross-thread frees
+	// lock the superblock, a fine-grained lock charged as a flat premium.
+	home := t.ID()
+	cost := 30.0
+	if id, ok := a.index.ownerOf(addr); ok && id != home {
+		home = id
+		cost = 55
+	}
+	a.heaps[home].put(classFor(size), addr)
+	return cost
+}
+
+var _ Allocator = (*hoard)(nil)

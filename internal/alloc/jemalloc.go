@@ -1,0 +1,97 @@
+package alloc
+
+import "repro/internal/vmm"
+
+// jemalloc models Jason Evans' allocator: many arenas assigned to threads
+// round-robin (so arena sharing is rare), deep thread-specific caches, and
+// decay-based purging that returns dirty pages to the OS with 4KiB
+// madvise calls — the behaviour that keeps its footprint low but breaks
+// transparent hugepages apart (Figure 5c).
+type jemalloc struct {
+	base
+	arenas  []*pool
+	tcaches []*tcache
+	index   *slabIndex
+	purge   purger
+	wait    float64
+}
+
+func newJemalloc() *jemalloc { return &jemalloc{} }
+
+func (a *jemalloc) Name() string      { return "jemalloc" }
+func (a *jemalloc) THPFriendly() bool { return false }
+
+func (a *jemalloc) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	// Four arenas per thread is the spirit of jemalloc's "4 * ncpus"
+	// default: effectively private arenas at every thread count we run.
+	n := a.threads
+	if n < 8 {
+		n = 8
+	}
+	a.index = newSlabIndex()
+	a.arenas = make([]*pool, n)
+	for i := range a.arenas {
+		a.arenas[i] = newPool(env, 4<<20, false) // 4MiB extents
+		a.arenas[i].recycle = true
+		a.arenas[i].id = i
+		a.arenas[i].index = a.index
+	}
+	a.tcaches = make([]*tcache, a.threads)
+	for i := range a.tcaches {
+		a.tcaches[i] = newTcache(20, 48)
+	}
+	a.wait = contendedWait((a.threads+n-1)/n, 110)
+	a.purge = purger{interval: 32}
+}
+
+func (a *jemalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		return a.largeAlloc(size, t.Node()), 380
+	}
+	c := classFor(size)
+	if addr, ok := a.tcaches[t.ID()].get(c); ok {
+		return addr, 25
+	}
+	a.stats.SlowPaths++
+	a.stats.LockWaitCycles += a.wait
+	addr, src := a.arenas[t.ID()%len(a.arenas)].alloc(c, t.Node())
+	cost := 25 + 110 + a.wait
+	switch src {
+	case srcBump:
+		cost += 60 // slab bitmap update
+	case srcNewSlab:
+		cost += 60 + 2200 // extent allocation
+	}
+	return addr, cost
+}
+
+func (a *jemalloc) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 320
+	}
+	c := classFor(size)
+	cost := 25.0
+	if !a.tcaches[t.ID()].put(c, addr) {
+		home := t.ID() % len(a.arenas)
+		if id, ok := a.index.ownerOf(addr); ok {
+			home = id // extents free back to their owning arena
+		}
+		a.arenas[home].put(c, addr)
+		cost = 30 + 110 + a.wait
+		a.stats.LockWaitCycles += a.wait
+	}
+	if a.purge.maybePurge(addr >> 12) {
+		// Decay purge: return the object's page to the OS. Splits any
+		// covering hugepage; the page refaults on reuse.
+		a.env.UnmapRange(addr&^uint64(vmm.PageSize-1), vmm.PageSize)
+		a.stats.Purges++
+		cost += 240
+	}
+	return cost
+}
+
+var _ Allocator = (*jemalloc)(nil)

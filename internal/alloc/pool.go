@@ -1,0 +1,242 @@
+package alloc
+
+import (
+	"repro/internal/topology"
+	"repro/internal/vmm"
+)
+
+// pool is the building block shared by the allocator models: a bump-carved
+// slab area with per-size-class free lists. A pool stands for a ptmalloc
+// arena, a jemalloc arena, a tcmalloc central heap, a Hoard thread heap, or
+// a tbbmalloc per-thread memory pool, depending on how the model wires
+// pools to threads.
+type pool struct {
+	env       Env
+	slabBytes uint64
+	eager     bool // commit whole slabs on reservation (mcmalloc batching)
+	recycle   bool // serve a class from larger-class free chunks (coalescing)
+
+	// id/index support ownership-aware frees: per-thread-heap allocators
+	// return a freed chunk to the heap that carved its slab, not to the
+	// freeing thread's heap.
+	id    int
+	index *slabIndex
+
+	free     [][]uint64 // per-class LIFO free lists
+	cur      vmm.Range
+	curOff   uint64
+	reserved uint64 // total address space carved by this pool
+}
+
+func newPool(env Env, slabBytes uint64, eager bool) *pool {
+	return &pool{
+		env:       env,
+		slabBytes: slabBytes,
+		eager:     eager,
+		free:      make([][]uint64, len(classSizes)),
+	}
+}
+
+// slabIndex maps 2MiB-granular address ranges to the owning pool id, so a
+// cross-thread free can find the chunk's home heap (Hoard's superblock
+// ownership, tbbmalloc's return lists, jemalloc's extent arenas).
+type slabIndex struct {
+	owner map[uint64]int
+}
+
+func newSlabIndex() *slabIndex { return &slabIndex{owner: map[uint64]int{}} }
+
+const slabGranuleShift = 21 // 2MiB, the reservation alignment
+
+func (si *slabIndex) register(r vmm.Range, id int) {
+	for g := r.Base >> slabGranuleShift; g <= (r.End()-1)>>slabGranuleShift; g++ {
+		si.owner[g] = id
+	}
+}
+
+// ownerOf returns the pool id owning addr's slab.
+func (si *slabIndex) ownerOf(addr uint64) (int, bool) {
+	id, ok := si.owner[addr>>slabGranuleShift]
+	return id, ok
+}
+
+// allocSrc says which path served a pool allocation; costs differ by an
+// order of magnitude between them.
+type allocSrc int
+
+const (
+	srcFreeList allocSrc = iota // popped a previously freed chunk
+	srcBump                     // carved from the current slab
+	srcNewSlab                  // had to reserve a fresh slab (mmap)
+)
+
+// alloc returns an address for class c and the path that served it. owner
+// is the requesting thread's node, used as the reservation owner for
+// Localalloc placement.
+func (p *pool) alloc(c int, owner topology.NodeID) (addr uint64, src allocSrc) {
+	if l := p.free[c]; len(l) > 0 {
+		addr = l[len(l)-1]
+		p.free[c] = l[:len(l)-1]
+		return addr, srcFreeList
+	}
+	if p.recycle {
+		// Approximate chunk splitting/coalescing: a freed chunk of a larger
+		// class can serve this class (the tail is wasted until the chunk
+		// returns to its home list on free). This is what keeps arena
+		// allocators' footprints near peak live when the size mix shifts.
+		for rc := c + 1; rc < len(p.free) && rc <= c+12; rc++ {
+			if l := p.free[rc]; len(l) > 0 {
+				addr = l[len(l)-1]
+				p.free[rc] = l[:len(l)-1]
+				return addr, srcFreeList
+			}
+		}
+	}
+	return p.carve(classSizes[c], owner)
+}
+
+// carve bump-allocates size bytes, reserving a fresh slab when the current
+// one is exhausted.
+func (p *pool) carve(size uint64, owner topology.NodeID) (uint64, allocSrc) {
+	size = (size + 15) &^ uint64(15)
+	src := srcBump
+	if p.cur.Bytes == 0 || p.curOff+size > p.cur.Bytes {
+		slab := p.slabBytes
+		if size > slab {
+			slab = size
+		}
+		p.cur = p.env.Reserve(slab, owner)
+		p.curOff = 0
+		p.reserved += p.cur.Bytes
+		if p.index != nil {
+			p.index.register(p.cur, p.id)
+		}
+		if p.eager {
+			p.env.Touch(p.cur.Base, p.cur.Bytes, owner)
+		}
+		src = srcNewSlab
+	}
+	addr := p.cur.Base + p.curOff
+	p.curOff += size
+	return addr, src
+}
+
+// put returns an address to class c's free list.
+func (p *pool) put(c int, addr uint64) {
+	p.free[c] = append(p.free[c], addr)
+}
+
+// tcache is a per-thread cache of freed objects with a bounded depth per
+// size class and a bounded total object count, like ptmalloc's tcache or
+// tcmalloc's thread cache. Hits bypass all locks; the total cap is what
+// forces spills back to the shared structures when many classes are hot.
+type tcache struct {
+	bins  [][]uint64
+	depth int
+	cap   int
+	count int
+}
+
+func newTcache(depth, totalCap int) *tcache {
+	return &tcache{bins: make([][]uint64, len(classSizes)), depth: depth, cap: totalCap}
+}
+
+func (tc *tcache) get(c int) (uint64, bool) {
+	if l := tc.bins[c]; len(l) > 0 {
+		addr := l[len(l)-1]
+		tc.bins[c] = l[:len(l)-1]
+		tc.count--
+		return addr, true
+	}
+	return 0, false
+}
+
+// put caches addr in class c, reporting false when the bin or the cache as
+// a whole is full.
+func (tc *tcache) put(c int, addr uint64) bool {
+	if len(tc.bins[c]) >= tc.depth || tc.count >= tc.cap {
+		return false
+	}
+	tc.bins[c] = append(tc.bins[c], addr)
+	tc.count++
+	return true
+}
+
+// base carries the bookkeeping every allocator model shares.
+type base struct {
+	env     Env
+	threads int
+	stats   Stats
+}
+
+func (b *base) Attach(env Env, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	b.env = env
+	b.threads = threads
+}
+
+func (b *base) Stats() Stats { return b.stats }
+
+func (b *base) onMalloc(size uint64) {
+	b.stats.Mallocs++
+	b.stats.LiveBytes += size
+	if b.stats.LiveBytes > b.stats.PeakLiveBytes {
+		b.stats.PeakLiveBytes = b.stats.LiveBytes
+	}
+}
+
+func (b *base) onFree(size uint64) {
+	b.stats.Frees++
+	if b.stats.LiveBytes >= size {
+		b.stats.LiveBytes -= size
+	} else {
+		b.stats.LiveBytes = 0
+	}
+}
+
+// largeAlloc handles allocations above LargeThreshold: a dedicated
+// page-granular reservation, unmapped in full on free (as mmap-threshold
+// objects are).
+func (base *base) largeAlloc(size uint64, owner topology.NodeID) uint64 {
+	r := base.env.Reserve(ClassSize(size), owner)
+	return r.Base
+}
+
+func (base *base) largeFree(addr, size uint64) {
+	base.env.UnmapRange(addr, ClassSize(size))
+	base.stats.Purges += ClassSize(size) / vmm.PageSize
+}
+
+// purger implements the 4KiB-granular page-return behaviour (decay-based
+// madvise DONTNEED) of THP-unfriendly allocators: every intervalth free of
+// a *cooling* page returns it to the OS, which splits a covering hugepage
+// and forces a refault on reuse — the Figure 5c pathology. A page that is
+// freed repeatedly back-to-back is hot (its decay timer keeps resetting),
+// so it is never purged; this matters for engine-style alloc/free churn of
+// a single buffer.
+type purger struct {
+	interval uint64
+	count    uint64
+	// recent is a direct-mapped recency table of freed pages: a page seen
+	// here recently is hot (its decay timer keeps resetting) and is never
+	// purged. Steady-state buffer churn cycles through a small page set
+	// and stays entirely inside this window.
+	recent [256]uint64
+}
+
+// maybePurge reports whether the free of an object on the given page
+// should purge it.
+func (p *purger) maybePurge(page uint64) bool {
+	if p.interval == 0 {
+		return false
+	}
+	slot := &p.recent[page&255]
+	if *slot == page+1 {
+		return false // hot page: the decay timer keeps resetting
+	}
+	*slot = page + 1
+	p.count++
+	return p.count%p.interval == 0
+}

@@ -1,0 +1,88 @@
+package alloc
+
+// ptmalloc models the glibc default allocator: a small set of shared
+// arenas, each protected by a mutex, fronted by a shallow per-thread cache
+// (tcache, 7 entries per bin). With more threads than arenas the arena
+// mutexes convoy, which is why the paper finds the system default lagging.
+// It retains and coalesces freed chunks (low footprint, THP friendly).
+type ptmalloc struct {
+	base
+	arenas  []*pool
+	tcaches []*tcache
+	sharers int
+	wait    float64 // precomputed expected arena-lock wait
+}
+
+func newPtmalloc() *ptmalloc { return &ptmalloc{} }
+
+func (a *ptmalloc) Name() string      { return "ptmalloc" }
+func (a *ptmalloc) THPFriendly() bool { return true }
+
+// ptmalloc's 64-bit arena limit heuristic caps useful arena concurrency;
+// the paper's machines all ended up arena-bound at high thread counts.
+const ptmallocMaxArenas = 8
+
+func (a *ptmalloc) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	n := threads
+	if n > ptmallocMaxArenas {
+		n = ptmallocMaxArenas
+	}
+	a.arenas = make([]*pool, n)
+	for i := range a.arenas {
+		a.arenas[i] = newPool(env, 4<<20, false) // sbrk heaps grow in large steps
+		a.arenas[i].recycle = true
+	}
+	a.tcaches = make([]*tcache, a.threads)
+	for i := range a.tcaches {
+		// Shallow bins and a small total budget: ptmalloc's tcache only
+		// absorbs short bursts before the arena mutex is back in play.
+		a.tcaches[i] = newTcache(3, 16)
+	}
+	a.sharers = (a.threads + n - 1) / n
+	a.wait = contendedWait(a.sharers, 160)
+}
+
+func (a *ptmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		// mmap path: syscall plus brk/mmap lock shared by everyone.
+		w := contendedWait(a.threads, 60)
+		a.stats.LockWaitCycles += w
+		return a.largeAlloc(size, t.Node()), 450 + w
+	}
+	c := classFor(size)
+	if addr, ok := a.tcaches[t.ID()].get(c); ok {
+		return addr, 30
+	}
+	a.stats.SlowPaths++
+	a.stats.LockWaitCycles += a.wait
+	addr, src := a.arenas[t.ID()%len(a.arenas)].alloc(c, t.Node())
+	cost := 30 + 160 + a.wait
+	switch src {
+	case srcBump:
+		cost += 100 // top-of-heap split
+	case srcNewSlab:
+		cost += 100 + 2500 // brk/mmap extension
+	}
+	return addr, cost
+}
+
+func (a *ptmalloc) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 350
+	}
+	c := classFor(size)
+	if a.tcaches[t.ID()].put(c, addr) {
+		return 25
+	}
+	// Bin full: the chunk goes back to the arena that owns the address;
+	// cross-thread frees contend on the same mutex.
+	a.stats.LockWaitCycles += a.wait
+	a.arenas[t.ID()%len(a.arenas)].put(c, addr)
+	return 40 + 160 + a.wait
+}
+
+var _ Allocator = (*ptmalloc)(nil)

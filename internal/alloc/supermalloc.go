@@ -1,0 +1,60 @@
+package alloc
+
+// supermalloc models Kuszmaul's allocator: homogeneous chunks per size
+// class tracked by a giant sparse lookup table, with hardware transactional
+// memory (falling back to mutexes) synchronizing the shared structures.
+// HTM elides some contention but every operation still coordinates through
+// shared state, so multi-threaded scaling is the worst of the group — the
+// reason the paper drops it after the microbenchmark. Footprint stays low
+// (chunks are tightly packed, the lookup table is mostly uncommitted).
+type supermalloc struct {
+	base
+	chunks *pool
+	wait   float64
+}
+
+func newSupermalloc() *supermalloc { return &supermalloc{} }
+
+func (a *supermalloc) Name() string      { return "supermalloc" }
+func (a *supermalloc) THPFriendly() bool { return true }
+
+func (a *supermalloc) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	a.chunks = newPool(env, 2<<20, false) // homogeneous 2MiB chunks
+	a.chunks.recycle = true
+	// Per-chunk locks shard contention a little; HTM elides roughly half
+	// the remaining conflicts.
+	sharers := a.threads
+	a.wait = contendedWait(sharers, 260) * 0.55
+}
+
+func (a *supermalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		return a.largeAlloc(size, t.Node()), 420
+	}
+	a.stats.SlowPaths++
+	a.stats.LockWaitCycles += a.wait
+	addr, src := a.chunks.alloc(classFor(size), t.Node())
+	cost := 35 + 130 + a.wait // prefetch-while-waiting keeps the CS short
+	switch src {
+	case srcBump:
+		cost += 70
+	case srcNewSlab:
+		cost += 70 + 2000
+	}
+	return addr, cost
+}
+
+func (a *supermalloc) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 340
+	}
+	a.stats.LockWaitCycles += a.wait
+	a.chunks.put(classFor(size), addr)
+	return 35 + 110 + a.wait
+}
+
+var _ Allocator = (*supermalloc)(nil)

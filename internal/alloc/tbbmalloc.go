@@ -1,0 +1,77 @@
+package alloc
+
+import "repro/internal/vmm"
+
+// tbbmalloc models the Intel TBB scalable allocator: per-thread memory
+// pools with no locking on the hot path; frees of another thread's object
+// enqueue onto the owner's lock-free return list. This is the best scaler
+// in the paper's microbenchmark and the workload winner in Figure 6, at
+// the cost of a bigger footprint (pools trade memory for speed) and poor
+// THP behaviour (it returns 4KiB blocks to the OS).
+type tbbmalloc struct {
+	base
+	heaps []*pool
+	index *slabIndex
+	purge purger
+}
+
+func newTbbmalloc() *tbbmalloc { return &tbbmalloc{} }
+
+func (a *tbbmalloc) Name() string      { return "tbbmalloc" }
+func (a *tbbmalloc) THPFriendly() bool { return false }
+
+func (a *tbbmalloc) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	a.index = newSlabIndex()
+	a.heaps = make([]*pool, a.threads)
+	for i := range a.heaps {
+		// Big per-thread slabs: tbbmalloc accepts extra memory consumption
+		// as a deliberate trade for allocation speed.
+		a.heaps[i] = newPool(env, 4<<20, false)
+		a.heaps[i].id = i
+		a.heaps[i].index = a.index
+	}
+	a.purge = purger{interval: 32}
+}
+
+func (a *tbbmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		return a.largeAlloc(size, t.Node()), 360
+	}
+	c := classFor(size)
+	addr, src := a.heaps[t.ID()].alloc(c, t.Node())
+	switch src {
+	case srcFreeList:
+		return addr, 18
+	case srcBump:
+		return addr, 18 + 40 // bump inside the thread's own slab, no lock
+	}
+	a.stats.SlowPaths++
+	return addr, 18 + 40 + 1700 // fresh 1MiB slab from the OS
+}
+
+func (a *tbbmalloc) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 300
+	}
+	// Same-thread frees are a push onto a private list; a foreign chunk
+	// goes back to its owner's heap through the lock-free return queue.
+	cost := 20.0
+	home := t.ID()
+	if id, ok := a.index.ownerOf(addr); ok && id != home {
+		home = id
+		cost = 40 // remote-free enqueue
+	}
+	a.heaps[home].put(classFor(size), addr)
+	if a.purge.maybePurge(addr >> 12) {
+		a.env.UnmapRange(addr&^uint64(vmm.PageSize-1), vmm.PageSize)
+		a.stats.Purges++
+		cost += 220
+	}
+	return cost
+}
+
+var _ Allocator = (*tbbmalloc)(nil)

@@ -1,0 +1,105 @@
+package alloc
+
+import "repro/internal/vmm"
+
+// tcmalloc models Google's thread-caching malloc: the fastest fast path of
+// the group (15 cycles through the per-thread cache), but refills and
+// flushes go through central per-class free lists whose locks are shared by
+// every thread. Refills move objects in batches, so the central lock is
+// amortized — yet with rising thread counts the central path convoys, which
+// is exactly the fall-off Figure 2a shows beyond one thread. Its
+// ReleaseToSystem behaviour madvises 4KiB spans away (THP unfriendly).
+type tcmalloc struct {
+	base
+	central *pool
+	tcaches []*tcache
+	purge   purger
+	wait    float64
+}
+
+// tcmallocBatch objects move between a thread cache and the central list
+// per refill/flush, amortizing the central lock.
+const tcmallocBatch = 8
+
+func newTcmalloc() *tcmalloc { return &tcmalloc{} }
+
+func (a *tcmalloc) Name() string      { return "tcmalloc" }
+func (a *tcmalloc) THPFriendly() bool { return false }
+
+func (a *tcmalloc) Attach(env Env, threads int) {
+	a.base.Attach(env, threads)
+	a.central = newPool(env, 4<<20, false) // page-heap spans
+	a.central.recycle = true
+	a.tcaches = make([]*tcache, a.threads)
+	for i := range a.tcaches {
+		a.tcaches[i] = newTcache(2*tcmallocBatch, 256)
+	}
+	// Central list locks are per size class, but a hot workload hammers a
+	// handful of classes, so effectively every thread shares them.
+	a.wait = contendedWait(a.threads, 300)
+	a.purge = purger{interval: 48}
+}
+
+func (a *tcmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
+	a.onMalloc(size)
+	if size > LargeThreshold {
+		// Large spans come from the page heap, one global lock.
+		w := contendedWait(a.threads, 150)
+		a.stats.LockWaitCycles += w
+		return a.largeAlloc(size, t.Node()), 420 + w
+	}
+	c := classFor(size)
+	tc := a.tcaches[t.ID()]
+	if addr, ok := tc.get(c); ok {
+		return addr, 12 // the cheapest fast path of the group
+	}
+	// Refill: take a batch from the central list under its lock; one
+	// object is returned, the rest prime the cache.
+	a.stats.SlowPaths++
+	a.stats.LockWaitCycles += a.wait
+	addr, src := a.central.alloc(c, t.Node())
+	cost := 15 + 200 + a.wait + float64(tcmallocBatch)*12
+	if src == srcNewSlab {
+		cost += 2400 // page heap span fetch
+	}
+	for i := 1; i < tcmallocBatch; i++ {
+		extra, _ := a.central.alloc(c, t.Node())
+		if !tc.put(c, extra) {
+			a.central.put(c, extra)
+			break
+		}
+	}
+	return addr, cost
+}
+
+func (a *tcmalloc) Free(t ThreadInfo, addr, size uint64) float64 {
+	a.onFree(size)
+	if size > LargeThreshold {
+		a.largeFree(addr, size)
+		return 380
+	}
+	c := classFor(size)
+	tc := a.tcaches[t.ID()]
+	cost := 14.0
+	if !tc.put(c, addr) {
+		// Cache over capacity: flush a batch back to the central list.
+		a.central.put(c, addr)
+		for i := 1; i < tcmallocBatch; i++ {
+			extra, ok := tc.get(c)
+			if !ok {
+				break
+			}
+			a.central.put(c, extra)
+		}
+		cost = 18 + 200 + a.wait + float64(tcmallocBatch)*10
+		a.stats.LockWaitCycles += a.wait
+	}
+	if a.purge.maybePurge(addr >> 12) {
+		a.env.UnmapRange(addr&^uint64(vmm.PageSize-1), vmm.PageSize)
+		a.stats.Purges++
+		cost += 260
+	}
+	return cost
+}
+
+var _ Allocator = (*tcmalloc)(nil)

@@ -1,0 +1,122 @@
+// Package cache provides deterministic set-associative LRU cache models
+// used by the machine simulator for per-core L1 data caches, per-node
+// shared last-level caches, and per-core TLBs (with separate 4KiB and 2MiB
+// entry arrays, matching Table II of the paper).
+//
+// The models are purely functional state machines: an Access either hits or
+// misses and updates recency; the machine layer translates outcomes into
+// cycles. All replacement decisions are deterministic (true LRU), so a
+// simulation with a fixed seed is bit-for-bit reproducible.
+package cache
+
+// Cache is a set-associative cache with true LRU replacement. Capacity is
+// expressed in entries (lines for a data cache, translations for a TLB);
+// the caller decides what a tag means.
+type Cache struct {
+	ways     int
+	setMask  uint64
+	tags     []uint64
+	valid    []bool
+	stamp    []uint64
+	tick     uint64
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache with at least the requested number of entries and the
+// given associativity. The set count is rounded up to a power of two, so
+// the effective capacity may slightly exceed entries. ways must be >= 1; an
+// entries value below ways is raised to ways (one set).
+func New(entries, ways int) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		entries = ways
+	}
+	sets := 1
+	for sets*ways < entries {
+		sets <<= 1
+	}
+	n := sets * ways
+	return &Cache{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		stamp:   make([]uint64, n),
+	}
+}
+
+// Entries returns the effective capacity in entries.
+func (c *Cache) Entries() int { return len(c.tags) }
+
+// Access looks up tag, inserting it (with LRU eviction) on a miss, and
+// reports whether the lookup hit.
+func (c *Cache) Access(tag uint64) bool {
+	c.tick++
+	c.accesses++
+	set := int(tag&c.setMask) * c.ways
+	var victim int
+	var victimStamp uint64 = ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.tick
+			return true
+		}
+		if !c.valid[i] {
+			// Prefer an invalid way; stamp 0 loses every comparison
+			// below only if no earlier invalid way was chosen, so pin it.
+			if victimStamp != 0 {
+				victim, victimStamp = i, 0
+			}
+			continue
+		}
+		if c.stamp[i] < victimStamp {
+			victim, victimStamp = i, c.stamp[i]
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// Contains reports whether tag is resident without updating recency or
+// counters.
+func (c *Cache) Contains(tag uint64) bool {
+	set := int(tag&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes tag if present, reporting whether it was resident.
+func (c *Cache) Invalidate(tag uint64) bool {
+	set := int(tag&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry (used when a thread migrates and loses its
+// core-private state).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats returns the cumulative access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.accesses, c.misses = 0, 0 }

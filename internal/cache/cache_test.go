@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterInsert(t *testing.T) {
+	c := New(64, 4)
+	if c.Access(42) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(42) {
+		t.Fatal("second access must hit")
+	}
+}
+
+func TestEntriesRounding(t *testing.T) {
+	c := New(100, 4)
+	if c.Entries() < 100 {
+		t.Fatalf("entries = %d, want >= 100", c.Entries())
+	}
+	if c.Entries()%4 != 0 {
+		t.Fatalf("entries = %d, not a multiple of ways", c.Entries())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single set of 2 ways: tags that collide in set 0.
+	c := New(2, 2)
+	sets := c.Entries() / 2
+	a, b, d := uint64(0), uint64(sets), uint64(2*sets) // same set
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now more recent than b
+	c.Access(d) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Error("a should survive (recently used)")
+	}
+	if c.Contains(b) {
+		t.Error("b should be evicted (least recently used)")
+	}
+	if !c.Contains(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(1024, 8)
+	n := uint64(c.Entries())
+	for i := uint64(0); i < n; i++ {
+		c.Access(i)
+	}
+	c.ResetStats()
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < n; i++ {
+			if !c.Access(i) {
+				t.Fatalf("miss on resident working set at tag %d", i)
+			}
+		}
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	c := New(64, 4)
+	n := uint64(c.Entries() * 8) // 8x capacity, sequential scan
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < n; i++ {
+			c.Access(i)
+		}
+	}
+	acc, miss := c.Stats()
+	if float64(miss)/float64(acc) < 0.99 {
+		t.Errorf("sequential over-capacity scan should thrash: %d/%d misses", miss, acc)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64, 4)
+	c.Access(7)
+	if !c.Invalidate(7) {
+		t.Fatal("invalidate should report residency")
+	}
+	if c.Contains(7) {
+		t.Fatal("tag still resident after invalidate")
+	}
+	if c.Invalidate(7) {
+		t.Fatal("second invalidate should report absence")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(64, 4)
+	for i := uint64(0); i < 32; i++ {
+		c.Access(i)
+	}
+	c.Flush()
+	for i := uint64(0); i < 32; i++ {
+		if c.Contains(i) {
+			t.Fatalf("tag %d survived flush", i)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := New(16, 2)
+	for i := uint64(0); i < 10; i++ {
+		c.Access(i % 5)
+	}
+	acc, miss := c.Stats()
+	if acc != 10 {
+		t.Errorf("accesses = %d, want 10", acc)
+	}
+	if miss != 5 {
+		t.Errorf("misses = %d, want 5 (five distinct tags fit)", miss)
+	}
+}
+
+func TestContainsMatchesAccessProperty(t *testing.T) {
+	c := New(256, 4)
+	f := func(tags []uint64) bool {
+		for _, tag := range tags {
+			c.Access(tag)
+			if !c.Contains(tag) {
+				return false // just-inserted tag must be resident
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	c := New(0, 0) // clamped to one entry, one way
+	if c.Entries() < 1 {
+		t.Fatal("cache must hold at least one entry")
+	}
+	c.Access(1)
+	if !c.Access(1) {
+		t.Fatal("single-entry cache should hit on repeat")
+	}
+	if c.Access(2); c.Access(1) {
+		t.Fatal("single-entry cache must evict on conflict")
+	}
+}
+
+func TestTLBSmallPages(t *testing.T) {
+	tlb := NewTLB(64, 32, 4)
+	if tlb.Access(100, false) {
+		t.Fatal("cold TLB must miss")
+	}
+	if !tlb.Access(100, false) {
+		t.Fatal("warm TLB must hit")
+	}
+}
+
+func TestTLBHugeReach(t *testing.T) {
+	tlb := NewTLB(64, 32, 4)
+	// 512 consecutive 4KiB pages inside one huge page: one huge entry
+	// covers them all.
+	tlb.Access(512*3, true) // first touch loads the huge entry
+	hits := 0
+	for vpn := uint64(512 * 3); vpn < 512*4; vpn++ {
+		if tlb.Access(vpn, true) {
+			hits++
+		}
+	}
+	if hits != 512 {
+		t.Fatalf("huge entry should cover all 512 pages, hit %d", hits)
+	}
+}
+
+func TestTLBNoHugeArray(t *testing.T) {
+	tlb := NewTLB(64, 0, 4)
+	tlb.Access(7, true)
+	if tlb.Access(7, true) {
+		t.Fatal("without a 2MiB array, huge lookups always miss")
+	}
+	// Small side still works.
+	tlb.Access(7, false)
+	if !tlb.Access(7, false) {
+		t.Fatal("small side should be unaffected")
+	}
+}
+
+func TestTLBFlushAndInvalidate(t *testing.T) {
+	tlb := NewTLB(64, 32, 4)
+	tlb.Access(5, false)
+	tlb.Access(512*2, true)
+	tlb.Flush()
+	if tlb.Access(5, false) {
+		t.Fatal("flush must drop small entries")
+	}
+	if tlb.Access(512*2, true) {
+		t.Fatal("flush must drop huge entries")
+	}
+	tlb.InvalidatePage(5)
+	if tlb.Access(5, false) {
+		t.Fatal("invalidated page must miss")
+	}
+}
+
+func TestTLBStats(t *testing.T) {
+	tlb := NewTLB(16, 8, 2)
+	tlb.Access(1, false)
+	tlb.Access(1, false)
+	tlb.Access(1024, true)
+	acc, miss := tlb.Stats()
+	if acc != 3 || miss != 2 {
+		t.Fatalf("stats = %d/%d, want 3 accesses 2 misses", acc, miss)
+	}
+}

@@ -1,0 +1,172 @@
+// Package core implements the paper's primary contribution: the systematic
+// tuning methodology. It defines the experiment parameter space of
+// Table IV, a grid runner that sweeps workloads across configurations, and
+// the Figure 10 decision flowchart as an executable Advisor that turns
+// workload traits into a recommended configuration with the paper's
+// rationale attached.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+// ParameterSpace enumerates Table IV: every tunable axis and its values,
+// with the system default first.
+type ParameterSpace struct {
+	Workloads       []string
+	Placements      []machine.Placement
+	Policies        []vmm.Policy
+	Allocators      []string
+	Distributions   []datagen.Distribution
+	DatabaseSystems []string
+	OSSwitches      []string
+	Machines        []string
+}
+
+// Space returns the paper's full parameter space.
+func Space() ParameterSpace {
+	return ParameterSpace{
+		Workloads: []string{
+			"W1 Holistic Aggregation", "W2 Distributive Aggregation",
+			"W3 Hash Join", "W4 Index Nested Loop Join", "W5 TPC-H",
+		},
+		Placements:      []machine.Placement{machine.PlaceNone, machine.PlaceSparse, machine.PlaceDense},
+		Policies:        vmm.Policies(),
+		Allocators:      alloc.Names(),
+		Distributions:   datagen.Distributions(),
+		DatabaseSystems: []string{"MonetDB", "PostgreSQL", "MySQL", "DBMSx", "Quickstep"},
+		OSSwitches:      []string{"AutoNUMA on/off", "Transparent Hugepages on/off"},
+		Machines:        []string{"Machine A", "Machine B", "Machine C"},
+	}
+}
+
+// Traits describes a workload and environment to the Advisor, mirroring
+// the decision points of Figure 10.
+type Traits struct {
+	// ThreadPlacementManaged: the application already pins its threads.
+	ThreadPlacementManaged bool
+	// MemoryBandwidthBound: the workload saturates memory bandwidth
+	// before it saturates cores.
+	MemoryBandwidthBound bool
+	// SuperuserAccess: kernel switches (AutoNUMA, THP) can be changed.
+	SuperuserAccess bool
+	// MemoryPlacementDefined: the application already sets a placement
+	// policy (numactl or mbind).
+	MemoryPlacementDefined bool
+	// AllocationHeavy: the workload allocates and frees intensively
+	// during execution (W1/W3-like rather than W2/W4-like).
+	AllocationHeavy bool
+	// FreeMemoryConstrained: memory headroom is tight, so allocator
+	// footprint matters.
+	FreeMemoryConstrained bool
+}
+
+// Recommendation is the flowchart's output: a configuration plus the
+// reasoning for each choice.
+type Recommendation struct {
+	Placement       machine.Placement
+	Policy          vmm.Policy
+	DisableAutoNUMA bool
+	DisableTHP      bool
+	Allocator       string
+	Rationale       []string
+}
+
+// Advise walks the Figure 10 flowchart.
+func Advise(tr Traits) Recommendation {
+	rec := Recommendation{Policy: vmm.FirstTouch, Allocator: "ptmalloc"}
+	if !tr.ThreadPlacementManaged {
+		if tr.MemoryBandwidthBound {
+			rec.Placement = machine.PlaceSparse
+			rec.Rationale = append(rec.Rationale,
+				"thread placement unmanaged and bandwidth-bound: affinitize with the Sparse strategy to use every memory controller")
+		} else {
+			rec.Placement = machine.PlaceDense
+			rec.Rationale = append(rec.Rationale,
+				"thread placement unmanaged and not bandwidth-bound: affinitize with the Dense strategy to share caches and minimize remote distance")
+		}
+	} else {
+		rec.Placement = machine.PlaceSparse
+		rec.Rationale = append(rec.Rationale, "thread placement already managed by the application")
+	}
+	if tr.SuperuserAccess {
+		rec.DisableAutoNUMA = true
+		rec.DisableTHP = true
+		rec.Rationale = append(rec.Rationale,
+			"superuser access: disable AutoNUMA and Transparent Hugepages, whose overheads dominate for analytics")
+	} else {
+		rec.Rationale = append(rec.Rationale,
+			"no superuser access: kernel switches stay default; compensate with memory placement")
+	}
+	if !tr.MemoryPlacementDefined {
+		rec.Policy = vmm.Interleave
+		rec.Rationale = append(rec.Rationale,
+			"no placement policy defined: Interleave spreads pages over all controllers and mostly offsets AutoNUMA/THP costs")
+	}
+	if tr.AllocationHeavy {
+		if tr.FreeMemoryConstrained {
+			rec.Allocator = "jemalloc"
+			rec.Rationale = append(rec.Rationale,
+				"allocation-heavy with constrained memory: preload jemalloc (low footprint, good scalability)")
+		} else {
+			rec.Allocator = "tbbmalloc"
+			rec.Rationale = append(rec.Rationale,
+				"allocation-heavy: preload tbbmalloc (best scalability; footprint is an accepted trade)")
+		}
+	} else {
+		rec.Rationale = append(rec.Rationale,
+			"not allocation-heavy: the default allocator is acceptable, though evaluating alternatives is still recommended")
+	}
+	return rec
+}
+
+// Apply turns a recommendation into a run configuration for n threads.
+func (r Recommendation) Apply(n int) machine.RunConfig {
+	return machine.RunConfig{
+		Threads:   n,
+		Placement: r.Placement,
+		Policy:    r.Policy,
+		Allocator: r.Allocator,
+		AutoNUMA:  !r.DisableAutoNUMA,
+		THP:       !r.DisableTHP,
+		Seed:      1,
+	}
+}
+
+// Measurement is one grid cell: a configuration and its measured wall
+// cycles plus counters.
+type Measurement struct {
+	Label  string
+	Config machine.RunConfig
+	Result machine.Result
+}
+
+// Cycles returns the measured wall cycles.
+func (m Measurement) Cycles() float64 { return m.Result.WallCycles }
+
+// Grid sweeps a workload over configurations. The workload closure builds
+// a fresh machine per cell (cold runs, as the paper measures W1-W4).
+func Grid(labels []string, cfgs []machine.RunConfig, run func(cfg machine.RunConfig) machine.Result) []Measurement {
+	if len(labels) != len(cfgs) {
+		panic(fmt.Sprintf("core: %d labels for %d configs", len(labels), len(cfgs)))
+	}
+	out := make([]Measurement, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = Measurement{Label: labels[i], Config: cfg, Result: run(cfg)}
+	}
+	return out
+}
+
+// Speedup returns the relative latency reduction of b versus a, as the
+// paper reports it: (a-b)/a, positive when b is faster.
+func Speedup(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}

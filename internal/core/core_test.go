@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+func TestSpaceCoversTableIV(t *testing.T) {
+	s := Space()
+	if len(s.Workloads) != 5 {
+		t.Errorf("workloads = %d, want 5", len(s.Workloads))
+	}
+	if len(s.Placements) != 3 {
+		t.Errorf("placements = %d, want 3 (None/Sparse/Dense)", len(s.Placements))
+	}
+	if len(s.Policies) != 4 {
+		t.Errorf("policies = %d, want 4", len(s.Policies))
+	}
+	if len(s.Allocators) != 7 {
+		t.Errorf("allocators = %d, want 7", len(s.Allocators))
+	}
+	if len(s.DatabaseSystems) != 5 {
+		t.Errorf("database systems = %d, want 5", len(s.DatabaseSystems))
+	}
+	if len(s.Machines) != 3 {
+		t.Errorf("machines = %d, want 3", len(s.Machines))
+	}
+}
+
+func TestAdviseBandwidthBound(t *testing.T) {
+	rec := Advise(Traits{
+		MemoryBandwidthBound: true,
+		SuperuserAccess:      true,
+		AllocationHeavy:      true,
+	})
+	if rec.Placement != machine.PlaceSparse {
+		t.Error("bandwidth-bound workloads get Sparse placement")
+	}
+	if !rec.DisableAutoNUMA || !rec.DisableTHP {
+		t.Error("superuser access means disabling AutoNUMA and THP")
+	}
+	if rec.Policy != vmm.Interleave {
+		t.Error("undefined placement means Interleave")
+	}
+	if rec.Allocator != "tbbmalloc" {
+		t.Errorf("allocation-heavy unconstrained means tbbmalloc, got %s", rec.Allocator)
+	}
+	if len(rec.Rationale) == 0 {
+		t.Error("recommendation must explain itself")
+	}
+}
+
+func TestAdviseDenseWhenNotBandwidthBound(t *testing.T) {
+	rec := Advise(Traits{})
+	if rec.Placement != machine.PlaceDense {
+		t.Error("cache-bound workloads get Dense placement")
+	}
+	if rec.DisableAutoNUMA || rec.DisableTHP {
+		t.Error("without superuser access the kernel switches stay put")
+	}
+}
+
+func TestAdviseMemoryConstrained(t *testing.T) {
+	rec := Advise(Traits{AllocationHeavy: true, FreeMemoryConstrained: true})
+	if rec.Allocator != "jemalloc" {
+		t.Errorf("constrained memory means jemalloc, got %s", rec.Allocator)
+	}
+}
+
+func TestAdviseRespectsExistingPolicy(t *testing.T) {
+	rec := Advise(Traits{MemoryPlacementDefined: true})
+	if rec.Policy != vmm.FirstTouch {
+		t.Error("a defined placement policy must not be overridden")
+	}
+}
+
+func TestApply(t *testing.T) {
+	cfg := Advise(Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true}).Apply(16)
+	if cfg.Threads != 16 || cfg.AutoNUMA || cfg.THP {
+		t.Errorf("applied config wrong: %+v", cfg)
+	}
+	if cfg.Allocator != "tbbmalloc" || cfg.Placement != machine.PlaceSparse {
+		t.Errorf("applied config wrong: %+v", cfg)
+	}
+}
+
+func TestAdvisedBeatsDefaultOnW1(t *testing.T) {
+	// The flowchart's whole point: its recommendation should beat the OS
+	// default on the paper's flagship workload. Use a tiny W1-like kernel.
+	runW1 := func(cfg machine.RunConfig) float64 {
+		m := machine.NewA()
+		m.Configure(cfg)
+		var base uint64
+		m.Run(1, func(t *machine.Thread) {
+			base = t.Malloc(4 << 20)
+			for off := uint64(0); off < 4<<20; off += 64 {
+				t.Write(base+off, 8)
+			}
+		})
+		res := m.Run(cfg.Threads, func(t *machine.Thread) {
+			for i := 0; i < 4000; i++ {
+				off := (t.RNG().Uint64n(4 << 20)) &^ 63
+				t.Read(base+off, 8)
+				a := t.Malloc(64)
+				t.Write(a, 64)
+				if i%3 == 0 {
+					t.Free(a, 64)
+				}
+			}
+		})
+		return res.WallCycles
+	}
+	tuned := Advise(Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true}).Apply(16)
+	def := machine.DefaultConfig(16)
+	// The default includes OS-scheduler randomness; take the median-ish of
+	// three seeds to avoid rewarding a lucky draw.
+	var defWalls []float64
+	for s := uint64(1); s <= 3; s++ {
+		d := def
+		d.Seed = s
+		defWalls = append(defWalls, runW1(d))
+	}
+	defWall := defWalls[0]
+	for _, w := range defWalls[1:] {
+		if w < defWall {
+			defWall = w // even the default's best run should lose
+		}
+	}
+	tunedWall := runW1(tuned)
+	if tunedWall >= defWall {
+		t.Errorf("advised config (%v) should beat the OS default (best of 3: %v)", tunedWall, defWall)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cfgs := []machine.RunConfig{machine.DefaultConfig(2), machine.TunedConfig(2)}
+	ms := Grid([]string{"default", "tuned"}, cfgs, func(cfg machine.RunConfig) machine.Result {
+		return machine.Result{WallCycles: float64(cfg.Threads)}
+	})
+	if len(ms) != 2 || ms[0].Label != "default" || ms[1].Cycles() != 2 {
+		t.Errorf("grid output wrong: %+v", ms)
+	}
+}
+
+func TestGridPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Grid([]string{"a"}, nil, nil)
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 5); s != 0.5 {
+		t.Errorf("Speedup(10,5) = %v, want 0.5", s)
+	}
+	if s := Speedup(0, 5); s != 0 {
+		t.Errorf("Speedup(0,5) = %v, want 0", s)
+	}
+	if s := Speedup(5, 10); s != -1 {
+		t.Errorf("Speedup(5,10) = %v, want -1", s)
+	}
+}

@@ -1,0 +1,136 @@
+// Package datagen generates the synthetic datasets of the paper's
+// workloads: the Moving Cluster, Sequential and Zipfian key distributions
+// used by the aggregation queries (W1, W2), and the two-table 1:16
+// decision-support join dataset of Blanas et al. used by the join queries
+// (W3, W4).
+//
+// All generators are deterministic in their seed. Sizes are parameters so
+// tests run tiny datasets while benchmarks run simulator scale (the paper's
+// 100M-row datasets, scaled down ~50x with cache ratios preserved — see
+// DESIGN.md).
+package datagen
+
+import "repro/internal/xrand"
+
+// Record is one key/value tuple.
+type Record struct {
+	Key uint64
+	Val uint64
+}
+
+// Distribution names a dataset distribution from Table IV.
+type Distribution string
+
+// The aggregation dataset distributions of Section IV-B.
+const (
+	MovingClusterDist Distribution = "MovingCluster"
+	SequentialDist    Distribution = "Sequential"
+	ZipfDist          Distribution = "Zipf"
+)
+
+// Distributions lists the aggregation distributions in the paper's order.
+func Distributions() []Distribution {
+	return []Distribution{MovingClusterDist, SequentialDist, ZipfDist}
+}
+
+// Generate builds n records with the given group-by cardinality under the
+// named distribution.
+func Generate(dist Distribution, n, cardinality int, seed uint64) []Record {
+	switch dist {
+	case MovingClusterDist:
+		return MovingCluster(n, cardinality, seed)
+	case SequentialDist:
+		return Sequential(n, cardinality)
+	case ZipfDist:
+		return Zipfian(n, cardinality, 0.5, seed)
+	default:
+		panic("datagen: unknown distribution " + string(dist))
+	}
+}
+
+// MovingCluster draws keys from a window that slides gradually across the
+// key domain, mimicking the locality drift of streaming and spatial
+// workloads (the paper's default for W1).
+func MovingCluster(n, cardinality int, seed uint64) []Record {
+	r := xrand.New(seed)
+	recs := make([]Record, n)
+	window := cardinality / 10
+	if window < 1 {
+		window = 1
+	}
+	span := cardinality - window
+	for i := range recs {
+		start := 0
+		if span > 0 && n > 1 {
+			start = int(uint64(span) * uint64(i) / uint64(n-1))
+		}
+		recs[i] = Record{
+			Key: uint64(start + r.Intn(window)),
+			Val: r.Uint64() % 1000,
+		}
+	}
+	return recs
+}
+
+// Sequential emits cardinality segments of equal length with incrementally
+// increasing keys, mimicking transactional data (the paper's default for
+// W3/W4 key order).
+func Sequential(n, cardinality int) []Record {
+	recs := make([]Record, n)
+	if cardinality < 1 {
+		cardinality = 1
+	}
+	segment := n / cardinality
+	if segment < 1 {
+		segment = 1
+	}
+	for i := range recs {
+		key := uint64(i / segment)
+		if key >= uint64(cardinality) {
+			key = uint64(cardinality - 1)
+		}
+		recs[i] = Record{Key: key, Val: uint64(i) % 1000}
+	}
+	return recs
+}
+
+// Zipfian samples keys from a Zipf distribution with the given exponent
+// (the paper uses e = 0.5 and defaults W2 to this dataset).
+func Zipfian(n, cardinality int, exponent float64, seed uint64) []Record {
+	r := xrand.New(seed)
+	z := xrand.NewZipf(r, exponent, uint64(cardinality))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: z.Uint64(), Val: r.Uint64() % 1000}
+	}
+	return recs
+}
+
+// JoinTables is the Blanas-style decision-support join dataset: a primary
+// table R of unique keys and a 16x larger foreign table S whose keys all
+// reference R.
+type JoinTables struct {
+	R []Record // primary: Key is a unique id, Val a payload
+	S []Record // foreign: Key references an R key
+}
+
+// DefaultJoinRatio is |S| / |R| in the paper's W3/W4 dataset.
+const DefaultJoinRatio = 16
+
+// Join generates R with rSize unique keys (shuffled) and S with
+// rSize*ratio tuples whose keys reference R uniformly.
+func Join(rSize, ratio int, seed uint64) JoinTables {
+	r := xrand.New(seed)
+	jt := JoinTables{
+		R: make([]Record, rSize),
+		S: make([]Record, rSize*ratio),
+	}
+	for i := range jt.R {
+		jt.R[i] = Record{Key: uint64(i), Val: r.Uint64() % 1000}
+	}
+	r.Shuffle(len(jt.R), func(i, j int) { jt.R[i], jt.R[j] = jt.R[j], jt.R[i] })
+	for i := range jt.S {
+		jt.S[i] = Record{Key: r.Uint64n(uint64(rSize)), Val: r.Uint64() % 1000}
+	}
+	return jt
+}

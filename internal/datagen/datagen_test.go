@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingClusterProperties(t *testing.T) {
+	const n, card = 10000, 1000
+	recs := MovingCluster(n, card, 1)
+	if len(recs) != n {
+		t.Fatalf("len = %d, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Key >= card {
+			t.Fatalf("record %d key %d out of domain", i, r.Key)
+		}
+	}
+	// Early keys should be drawn from a low window, late keys from a high
+	// window: the cluster moves.
+	early, late := 0.0, 0.0
+	for i := 0; i < 1000; i++ {
+		early += float64(recs[i].Key)
+		late += float64(recs[n-1-i].Key)
+	}
+	if late <= early*2 {
+		t.Errorf("window should slide upward: early mean %v, late mean %v", early/1000, late/1000)
+	}
+}
+
+func TestSequentialSegments(t *testing.T) {
+	const n, card = 1000, 100
+	recs := Sequential(n, card)
+	// Keys must be non-decreasing and cover the cardinality.
+	seen := map[uint64]int{}
+	for i := 1; i < n; i++ {
+		if recs[i].Key < recs[i-1].Key {
+			t.Fatalf("keys must be non-decreasing at %d", i)
+		}
+	}
+	for _, r := range recs {
+		seen[r.Key]++
+	}
+	if len(seen) != card {
+		t.Errorf("distinct keys = %d, want %d", len(seen), card)
+	}
+	for k, c := range seen {
+		if c != n/card {
+			t.Errorf("key %d has %d records, want %d", k, c, n/card)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n, card = 50000, 1000
+	recs := Zipfian(n, card, 0.5, 3)
+	counts := map[uint64]int{}
+	for _, r := range recs {
+		if r.Key >= card {
+			t.Fatalf("key %d out of domain", r.Key)
+		}
+		counts[r.Key]++
+	}
+	if counts[0] <= n/card {
+		t.Errorf("rank-0 count %d should exceed uniform share %d", counts[0], n/card)
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, d := range Distributions() {
+		recs := Generate(d, 100, 10, 1)
+		if len(recs) != 100 {
+			t.Errorf("%s: len = %d", d, len(recs))
+		}
+	}
+}
+
+func TestGenerateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate("nope", 10, 10, 1)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MovingCluster(1000, 100, 7)
+	b := MovingCluster(1000, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical datasets")
+		}
+	}
+	c := MovingCluster(1000, 100, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestJoinTables(t *testing.T) {
+	jt := Join(1000, DefaultJoinRatio, 5)
+	if len(jt.S) != 16*len(jt.R) {
+		t.Fatalf("|S| = %d, want 16x|R| = %d", len(jt.S), 16*len(jt.R))
+	}
+	// R keys are a permutation of [0, rSize).
+	seen := make([]bool, len(jt.R))
+	for _, r := range jt.R {
+		if r.Key >= uint64(len(jt.R)) || seen[r.Key] {
+			t.Fatal("R keys must be unique and in range")
+		}
+		seen[r.Key] = true
+	}
+	// Every S key references an existing R key.
+	for _, s := range jt.S {
+		if s.Key >= uint64(len(jt.R)) {
+			t.Fatalf("S key %d dangles", s.Key)
+		}
+	}
+}
+
+func TestJoinReferentialIntegrityProperty(t *testing.T) {
+	f := func(sizeRaw uint8, seed uint64) bool {
+		size := int(sizeRaw)%100 + 10
+		jt := Join(size, 4, seed)
+		for _, s := range jt.S {
+			if s.Key >= uint64(size) {
+				return false
+			}
+		}
+		return len(jt.S) == 4*size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/topology"
+	"repro/internal/vmm"
+)
+
+// Ablations isolate the simulator's design choices, showing how much each
+// modelled mechanism contributes to the headline result (W1 on Machine A,
+// OS default vs tuned). They answer "would a simpler simulator have
+// reproduced the paper?" — the reproducibility analogue of an ablation
+// study.
+type AblationResult struct {
+	Names   []string
+	Default []float64 // OS-default configuration wall cycles
+	Tuned   []float64 // tuned configuration wall cycles
+	Gain    []float64 // (default-tuned)/default under the ablation
+}
+
+// ablation is one modified machine construction.
+type ablation struct {
+	name  string
+	tweak func(m *machine.Machine)
+}
+
+// Ablate runs the headline W1 experiment under each ablation of the cost
+// model.
+func Ablate(s Scale) AblationResult {
+	cases := []ablation{
+		{"full model", func(m *machine.Machine) {}},
+		{"no controller contention", func(m *machine.Machine) {
+			m.P.ControllerCoeff = 0
+		}},
+		{"no interconnect sharing", func(m *machine.Machine) {
+			m.P.LinkCoeff = 0
+		}},
+		{"no coherence transfers", func(m *machine.Machine) {
+			m.P.CoherenceCycles = 0
+		}},
+		{"free AutoNUMA (no scan tax, free migrations)", func(m *machine.Machine) {
+			m.P.AutoNUMASampleCost = 0
+			m.P.AutoNUMAHintFault = 0
+			m.P.AutoNUMAPageCost = 0
+			m.P.AutoNUMAShootdown = 0
+		}},
+		{"free THP (no churn, splits or promote cost)", func(m *machine.Machine) {
+			m.P.THPChurnCycles = 0
+			m.P.THPSplitCost = 0
+			m.P.THPPromoteCost = 0
+		}},
+		{"free thread migration", func(m *machine.Machine) {
+			m.P.MigrationCycles = 0
+		}},
+	}
+	var out AblationResult
+	for _, c := range cases {
+		run := func(cfg machine.RunConfig) float64 {
+			m := machineFor("A")
+			c.tweak(m)
+			m.Configure(cfg)
+			return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		}
+		def := machine.DefaultConfig(16)
+		def.Seed = 9
+		tuned := machine.TunedConfig(16)
+		d := run(def)
+		u := run(tuned)
+		out.Names = append(out.Names, c.name)
+		out.Default = append(out.Default, d)
+		out.Tuned = append(out.Tuned, u)
+		out.Gain = append(out.Gain, (d-u)/d)
+	}
+	return out
+}
+
+// Render renders the ablation table.
+func (r AblationResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Ablation: contribution of each modelled mechanism to the W1 default-vs-tuned gain (Machine A)",
+		Header: []string{"model variant", "default", "tuned", "gain"},
+	}
+	for i, n := range r.Names {
+		t.AddRow(n, report.Billions(r.Default[i]), report.Billions(r.Tuned[i]), report.Pct(r.Gain[i]))
+	}
+	return t
+}
+
+// PolicySensitivity sweeps the Preferred policy's target node, showing the
+// cost asymmetry the topology induces (Machine A's twisted ladder gives
+// corner nodes worse average distance than central ones). This extends the
+// paper's policy set with a question it raises but does not answer: does
+// it matter *which* node Preferred picks?
+type PolicySensitivityResult struct {
+	Nodes  []int
+	Cycles []float64
+}
+
+// PolicySensitivity measures W1 under Preferred for every target node.
+func PolicySensitivity(s Scale) PolicySensitivityResult {
+	var out PolicySensitivityResult
+	m0 := machineFor("A")
+	for n := 0; n < m0.Spec.Topo.Nodes(); n++ {
+		m := machineFor("A")
+		cfg := baseConfig(16)
+		cfg.Policy = vmm.Preferred
+		cfg.PreferredNode = topology.NodeID(n)
+		m.Configure(cfg)
+		res := runW1(m, s, datagen.MovingClusterDist)
+		out.Nodes = append(out.Nodes, n)
+		out.Cycles = append(out.Cycles, res.Result.WallCycles)
+	}
+	return out
+}
+
+// Render renders the sensitivity table.
+func (r PolicySensitivityResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Extension: Preferred-policy target-node sensitivity, W1, Machine A",
+		Header: []string{"preferred node", "billion cycles"},
+	}
+	for i, n := range r.Nodes {
+		t.AddRow(n, report.Billions(r.Cycles[i]))
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+// Fig10Result validates the decision flowchart: the advisor's
+// recommendation for a W1-like workload versus the measured optimum of the
+// full configuration grid.
+type Fig10Result struct {
+	Recommendation core.Recommendation
+	AdvisedCycles  float64
+	DefaultCycles  float64
+	GridBest       string
+	GridBestCycles float64
+}
+
+// Fig10 runs W1 under the advised configuration, the OS default, and the
+// Figure 6 grid's best cell, on Machine A.
+func Fig10(s Scale) Fig10Result {
+	rec := core.Advise(core.Traits{
+		MemoryBandwidthBound: true,
+		SuperuserAccess:      true,
+		AllocationHeavy:      true,
+	})
+	out := Fig10Result{Recommendation: rec}
+
+	m := machineFor("A")
+	m.Configure(rec.Apply(16))
+	out.AdvisedCycles = runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+
+	m = machineFor("A")
+	def := machine.DefaultConfig(16)
+	def.Seed = 9
+	m.Configure(def)
+	out.DefaultCycles = runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+
+	grid := Fig6W1(s, "A")
+	bestAlloc, bestPol, bestCycles := grid.Best()
+	out.GridBest = bestAlloc + " + " + bestPol.String()
+	out.GridBestCycles = bestCycles
+	return out
+}
+
+// Render renders the flowchart validation.
+func (r Fig10Result) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 10: decision flowchart validation, W1, Machine A (billion cycles)",
+		Header: []string{"configuration", "cycles", "vs default"},
+	}
+	t.AddRow("OS default", report.Billions(r.DefaultCycles), report.Pct(0))
+	t.AddRow("advised ("+r.Recommendation.Allocator+" + "+r.Recommendation.Policy.String()+")",
+		report.Billions(r.AdvisedCycles),
+		report.Pct(core.Speedup(r.DefaultCycles, r.AdvisedCycles)))
+	t.AddRow("grid best ("+r.GridBest+")",
+		report.Billions(r.GridBestCycles),
+		report.Pct(core.Speedup(r.DefaultCycles, r.GridBestCycles)))
+	return t
+}
+
+// Table2 renders Table II: the simulated machine specifications.
+func Table2() *report.Table {
+	t := &report.Table{
+		Title: "Table II: machine specifications (simulated)",
+		Header: []string{"system", "nodes", "cores/threads", "LLC/node", "mem/node",
+			"remote latency", "link GT/s"},
+	}
+	for _, spec := range machine.Specs() {
+		topo := spec.Topo
+		worst := 1.0
+		for n := 0; n < topo.Nodes(); n++ {
+			if l := topo.Latency(0, topology.NodeID(n)); l > worst {
+				worst = l
+			}
+		}
+		t.AddRow(spec.Name, topo.Nodes(),
+			strconv.Itoa(spec.Cores())+"/"+strconv.Itoa(spec.HardwareThreads()),
+			strconv.Itoa(spec.LLCBytesPerNode>>20)+"MiB",
+			strconv.Itoa(int(spec.MemPerNodeBytes>>30))+"GiB",
+			worst, topo.LinkBandwidthGTs())
+	}
+	return t
+}

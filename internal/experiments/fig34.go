@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Fig3Result holds Figure 3: relative runtimes of consecutive
+// unaffinitized W1 runs against the affinitized (Sparse) runtime.
+type Fig3Result struct {
+	SparseCycles float64
+	Relative     []float64 // one per run; >= 1 means slower than Sparse
+}
+
+// Fig3 runs W1 once under Sparse affinity, then s.Fig3Runs times under the
+// OS scheduler (each run draws a fresh migration behaviour), reporting
+// runtimes relative to the affinitized run.
+func Fig3(s Scale) Fig3Result {
+	mkMachine := func(place machine.Placement, seed uint64) *machine.Machine {
+		m := machine.NewA()
+		cfg := baseConfig(16)
+		cfg.Placement = place
+		cfg.Seed = seed
+		m.Configure(cfg)
+		return m
+	}
+	sparse := runW1(mkMachine(machine.PlaceSparse, 1), s, datagen.MovingClusterDist)
+	out := Fig3Result{SparseCycles: sparse.Result.WallCycles}
+	for run := 0; run < s.Fig3Runs; run++ {
+		res := runW1(mkMachine(machine.PlaceNone, uint64(100+run)), s, datagen.MovingClusterDist)
+		out.Relative = append(out.Relative, res.Result.WallCycles/out.SparseCycles)
+	}
+	return out
+}
+
+// Render renders Figure 3.
+func (r Fig3Result) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 3: OS scheduler vs Sparse affinity, consecutive W1 runs, Machine A",
+		Header: []string{"run", "relative runtime (no affinity / Sparse)"},
+	}
+	for i, rel := range r.Relative {
+		t.AddRow(strconv.Itoa(i+1), rel)
+	}
+	return t
+}
+
+// Table3Result holds Table III: the perf-counter profile of W1 under the
+// default OS scheduler versus Sparse pinning.
+type Table3Result struct {
+	Default  machine.Counters
+	Modified machine.Counters
+}
+
+// Table3 profiles W1 on Machine A under the OS scheduler (a
+// migration-heavy draw, as the paper's default exhibited) and under the
+// Sparse policy.
+func Table3(s Scale) Table3Result {
+	profile := func(place machine.Placement) machine.Counters {
+		m := machine.NewA()
+		cfg := baseConfig(16)
+		cfg.Placement = place
+		cfg.AutoNUMA = place == machine.PlaceNone // OS default keeps balancing on
+		cfg.Seed = 104                            // a representative noisy draw
+		m.Configure(cfg)
+		out := runW1(m, s, datagen.MovingClusterDist)
+		return out.Result.Counters
+	}
+	return Table3Result{
+		Default:  profile(machine.PlaceNone),
+		Modified: profile(machine.PlaceSparse),
+	}
+}
+
+// Render renders Table III with percent changes.
+func (r Table3Result) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Table III: profiling thread placement, W1 Machine A (default vs Sparse)",
+		Header: []string{"metric", "default", "modified", "change"},
+	}
+	row := func(name string, a, b uint64) {
+		change := "n/a"
+		if a > 0 {
+			change = report.Pct(float64(int64(b)-int64(a)) / float64(a))
+		}
+		t.AddRow(name, a, b, change)
+	}
+	row("thread migrations", r.Default.ThreadMigrations, r.Modified.ThreadMigrations)
+	row("cache misses", r.Default.CacheMisses, r.Modified.CacheMisses)
+	row("local memory accesses", r.Default.LocalAccesses, r.Modified.LocalAccesses)
+	row("remote memory accesses", r.Default.RemoteAccesses, r.Modified.RemoteAccesses)
+	t.AddRow("local access ratio",
+		r.Default.LAR(), r.Modified.LAR(),
+		report.Pct((r.Modified.LAR()-r.Default.LAR())/r.Default.LAR()))
+	return t
+}
+
+// Fig4Threads are the worker counts swept in Figure 4.
+var Fig4Threads = []int{2, 4, 8, 16}
+
+// Fig4Result holds Figure 4: Dense vs Sparse runtimes per dataset and
+// thread count on Machine A.
+type Fig4Result struct {
+	Datasets []datagen.Distribution
+	Threads  []int
+	// Cycles[dist][i] for Threads[i], per placement.
+	Dense  map[datagen.Distribution][]float64
+	Sparse map[datagen.Distribution][]float64
+}
+
+// Fig4 compares the Sparse and Dense affinitization strategies on W1
+// across datasets and thread counts.
+func Fig4(s Scale) Fig4Result {
+	out := Fig4Result{
+		Datasets: datagen.Distributions(),
+		Threads:  Fig4Threads,
+		Dense:    map[datagen.Distribution][]float64{},
+		Sparse:   map[datagen.Distribution][]float64{},
+	}
+	for _, dist := range out.Datasets {
+		for _, threads := range Fig4Threads {
+			for _, place := range []machine.Placement{machine.PlaceDense, machine.PlaceSparse} {
+				m := machine.NewA()
+				cfg := baseConfig(threads)
+				cfg.Placement = place
+				m.Configure(cfg)
+				res := runW1(m, s, dist)
+				if place == machine.PlaceDense {
+					out.Dense[dist] = append(out.Dense[dist], res.Result.WallCycles)
+				} else {
+					out.Sparse[dist] = append(out.Sparse[dist], res.Result.WallCycles)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Render renders Figure 4.
+func (r Fig4Result) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 4: Sparse vs Dense thread affinity, W1, Machine A (billion cycles)",
+		Header: []string{"dataset", "threads", "Dense", "Sparse"},
+	}
+	for _, dist := range r.Datasets {
+		for i, threads := range r.Threads {
+			t.AddRow(string(dist), threads,
+				report.Billions(r.Dense[dist][i]),
+				report.Billions(r.Sparse[dist][i]))
+		}
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/datagen"
+	"repro/internal/report"
+	"repro/internal/vmm"
+)
+
+// fig5Policies are the placement policies swept in Figure 5a/5b.
+var fig5Policies = []vmm.Policy{vmm.FirstTouch, vmm.Interleave, vmm.Localalloc, vmm.Preferred}
+
+// Fig5aResult holds Figures 5a and 5b: W1 runtime and local access ratio
+// per memory placement policy with AutoNUMA on and off, Machine A.
+type Fig5aResult struct {
+	Policies []vmm.Policy
+	// Indexed by policy position; On = AutoNUMA enabled.
+	OnCycles  []float64
+	OffCycles []float64
+	OnLAR     []float64
+	OffLAR    []float64
+}
+
+// Fig5a sweeps placement policy x AutoNUMA for W1 on Machine A.
+func Fig5a(s Scale) Fig5aResult {
+	out := Fig5aResult{Policies: fig5Policies}
+	for _, pol := range fig5Policies {
+		for _, auto := range []bool{true, false} {
+			m := machineFor("A")
+			cfg := baseConfig(16)
+			cfg.Policy = pol
+			cfg.AutoNUMA = auto
+			m.Configure(cfg)
+			res := runW1(m, s, datagen.MovingClusterDist)
+			if auto {
+				out.OnCycles = append(out.OnCycles, res.Result.WallCycles)
+				out.OnLAR = append(out.OnLAR, res.Result.Counters.LAR())
+			} else {
+				out.OffCycles = append(out.OffCycles, res.Result.WallCycles)
+				out.OffLAR = append(out.OffLAR, res.Result.Counters.LAR())
+			}
+		}
+	}
+	return out
+}
+
+// Render renders Figure 5a (runtime).
+func (r Fig5aResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 5a: AutoNUMA effect on W1 runtime by placement policy, Machine A (billion cycles)",
+		Header: []string{"policy", "AutoNUMA on", "AutoNUMA off"},
+	}
+	for i, p := range r.Policies {
+		t.AddRow(p.String(), report.Billions(r.OnCycles[i]), report.Billions(r.OffCycles[i]))
+	}
+	return t
+}
+
+// RenderLAR renders Figure 5b (local access ratio).
+func (r Fig5aResult) RenderLAR() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 5b: AutoNUMA effect on local access ratio, W1, Machine A",
+		Header: []string{"policy", "LAR on", "LAR off"},
+	}
+	for i, p := range r.Policies {
+		t.AddRow(p.String(), r.OnLAR[i], r.OffLAR[i])
+	}
+	return t
+}
+
+// Fig5cResult holds Figure 5c: W1 runtime per allocator with THP off/on.
+type Fig5cResult struct {
+	Allocators []string
+	Off        []float64
+	On         []float64
+}
+
+// Fig5c sweeps allocator x THP for W1 on Machine A (First Touch, AutoNUMA
+// off, as the paper isolates the hugepage mechanism).
+func Fig5c(s Scale) Fig5cResult {
+	out := Fig5cResult{Allocators: alloc.WorkloadNames()}
+	for _, name := range out.Allocators {
+		for _, thp := range []bool{false, true} {
+			m := machineFor("A")
+			cfg := baseConfig(16)
+			cfg.Allocator = name
+			cfg.THP = thp
+			m.Configure(cfg)
+			res := runW1(m, s, datagen.MovingClusterDist)
+			if thp {
+				out.On = append(out.On, res.Result.WallCycles)
+			} else {
+				out.Off = append(out.Off, res.Result.WallCycles)
+			}
+		}
+	}
+	return out
+}
+
+// Render renders Figure 5c.
+func (r Fig5cResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 5c: impact of THP on memory allocators, W1, Machine A (billion cycles)",
+		Header: []string{"allocator", "THP off", "THP on"},
+	}
+	for i, a := range r.Allocators {
+		t.AddRow(a, report.Billions(r.Off[i]), report.Billions(r.On[i]))
+	}
+	return t
+}
+
+// Fig5dResult holds Figure 5d: the combined effect of AutoNUMA+THP and
+// placement policy across the three machines.
+type Fig5dResult struct {
+	Machines []string
+	Policies []vmm.Policy
+	// Cycles[machine][policy index], daemons on and off.
+	On  map[string][]float64
+	Off map[string][]float64
+}
+
+// Fig5d sweeps {First Touch, Interleave, Localalloc} x {daemons on, off}
+// x {A, B, C} for W1.
+func Fig5d(s Scale) Fig5dResult {
+	out := Fig5dResult{
+		Machines: []string{"A", "B", "C"},
+		Policies: []vmm.Policy{vmm.FirstTouch, vmm.Interleave, vmm.Localalloc},
+		On:       map[string][]float64{},
+		Off:      map[string][]float64{},
+	}
+	for _, mc := range out.Machines {
+		for _, pol := range out.Policies {
+			for _, daemons := range []bool{true, false} {
+				m := machineFor(mc)
+				cfg := baseConfig(m.Spec.HardwareThreads())
+				cfg.Policy = pol
+				cfg.AutoNUMA = daemons
+				cfg.THP = daemons
+				m.Configure(cfg)
+				res := runW1(m, s, datagen.MovingClusterDist)
+				if daemons {
+					out.On[mc] = append(out.On[mc], res.Result.WallCycles)
+				} else {
+					out.Off[mc] = append(out.Off[mc], res.Result.WallCycles)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Render renders Figure 5d.
+func (r Fig5dResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 5d: combined AutoNUMA+THP effect by placement policy and machine, W1 (billion cycles)",
+		Header: []string{"machine", "policy", "daemons on", "daemons off"},
+	}
+	for _, mc := range r.Machines {
+		for i, pol := range r.Policies {
+			t.AddRow("Machine "+mc, pol.String(),
+				report.Billions(r.On[mc][i]), report.Billions(r.Off[mc][i]))
+		}
+	}
+	return t
+}

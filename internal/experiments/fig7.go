@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/report"
+	"repro/internal/vmm"
+)
+
+// Fig7Result holds Figures 7a-7d: join time of the index nested-loop join
+// (W4) for one index kind across allocators and placement policies on
+// Machine A.
+type Fig7Result struct {
+	Kind       index.Kind
+	Allocators []string
+	Policies   []vmm.Policy
+	JoinCycles [][]float64 // [allocator][policy]
+	// BestBuild/BestJoin track the fastest configuration's phase split for
+	// Figure 7e.
+	BestBuild float64
+	BestJoin  float64
+	BestAlloc string
+}
+
+// Fig7 sweeps one index kind over allocators x policies (W4, Machine A).
+func Fig7(s Scale, kind index.Kind) Fig7Result {
+	out := Fig7Result{
+		Kind:       kind,
+		Allocators: alloc.WorkloadNames(),
+		Policies:   fig6Policies,
+	}
+	tables := datagen.Join(s.JoinR, datagen.DefaultJoinRatio, 17)
+	bestTotal := 0.0
+	for _, name := range out.Allocators {
+		var row []float64
+		for _, pol := range out.Policies {
+			m := machineFor("A")
+			cfg := baseConfig(16)
+			cfg.Allocator = name
+			cfg.Policy = pol
+			m.Configure(cfg)
+			res := query.IndexJoin(m, kind, tables)
+			row = append(row, res.ProbeCycles)
+			total := res.BuildCycles + res.ProbeCycles
+			if bestTotal == 0 || total < bestTotal {
+				bestTotal = total
+				out.BestBuild = res.BuildCycles
+				out.BestJoin = res.ProbeCycles
+				out.BestAlloc = name
+			}
+		}
+		out.JoinCycles = append(out.JoinCycles, row)
+	}
+	return out
+}
+
+// Render renders one Figure 7 grid (join times).
+func (r Fig7Result) Render() *report.Table {
+	t := &report.Table{Title: "Fig 7: " + string(r.Kind) + " index, W4 join times, Machine A (billion cycles)"}
+	t.Header = []string{"allocator"}
+	for _, p := range r.Policies {
+		t.Header = append(t.Header, p.String())
+	}
+	for i, name := range r.Allocators {
+		cells := []interface{}{name}
+		for _, v := range r.JoinCycles[i] {
+			cells = append(cells, report.Billions(v))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// BestJoinCell returns the fastest join time in the grid.
+func (r Fig7Result) BestJoinCell() float64 {
+	best := r.JoinCycles[0][0]
+	for _, row := range r.JoinCycles {
+		for _, v := range row {
+			if v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Fig7eResult holds Figure 7e: each index's build and join time at its
+// fastest configuration.
+type Fig7eResult struct {
+	Kinds []index.Kind
+	Build []float64
+	Join  []float64
+	Alloc []string
+}
+
+// Fig7e summarizes the four Fig7 grids into build/join at best config.
+func Fig7e(s Scale) Fig7eResult {
+	var out Fig7eResult
+	for _, kind := range index.Kinds() {
+		g := Fig7(s, kind)
+		out.Kinds = append(out.Kinds, kind)
+		out.Build = append(out.Build, g.BestBuild)
+		out.Join = append(out.Join, g.BestJoin)
+		out.Alloc = append(out.Alloc, g.BestAlloc)
+	}
+	return out
+}
+
+// Render renders Figure 7e.
+func (r Fig7eResult) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 7e: index build and join times at best configuration, Machine A (billion cycles)",
+		Header: []string{"index", "build", "join", "best allocator"},
+	}
+	for i, k := range r.Kinds {
+		t.AddRow(string(k), report.Billions(r.Build[i]), report.Billions(r.Join[i]), r.Alloc[i])
+	}
+	return t
+}

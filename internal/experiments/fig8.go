@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/tpch"
+	"repro/internal/vmm"
+)
+
+// w5TunedConfig is the configuration the paper used to speed up W5: First
+// Touch placement, AutoNUMA and THP disabled, Sparse affinity, tbbmalloc.
+func w5TunedConfig(threads int, keepTHP bool) machine.RunConfig {
+	return machine.RunConfig{
+		Threads:   threads,
+		Placement: machine.PlaceSparse,
+		Policy:    vmm.FirstTouch,
+		Allocator: "tbbmalloc",
+		AutoNUMA:  false,
+		THP:       keepTHP, // the paper left THP on for DBMSx only
+		Seed:      1,
+	}
+}
+
+// Fig8Result holds Figure 8: per-query latency reduction of the tuned
+// configuration over the OS default, for each database system.
+type Fig8Result struct {
+	Systems []string
+	// Reduction[system][q-1] = (default - tuned) / default.
+	Reduction map[string][]float64
+	// DefaultWall and TunedWall keep the raw means for EXPERIMENTS.md.
+	DefaultWall map[string][]float64
+	TunedWall   map[string][]float64
+}
+
+// Fig8 runs all 22 TPC-H queries on the five engine profiles under the OS
+// default and the tuned configuration, on Machine A.
+func Fig8(s Scale) Fig8Result {
+	db := tpch.Generate(s.TPCHSF, 41)
+	out := Fig8Result{
+		Reduction:   map[string][]float64{},
+		DefaultWall: map[string][]float64{},
+		TunedWall:   map[string][]float64{},
+	}
+	for _, prof := range tpch.Profiles() {
+		out.Systems = append(out.Systems, prof.Name)
+		spec := machine.SpecA()
+		defCfg := machine.DefaultConfig(spec.HardwareThreads())
+		defCfg.Seed = 9
+		tuned := w5TunedConfig(spec.HardwareThreads(), prof.Name == "DBMSx")
+		defH := tpch.NewHarness(spec, prof, defCfg, db, s.WarmRuns)
+		tunedH := tpch.NewHarness(spec, prof, tuned, db, s.WarmRuns)
+		defWalls, defRes := defH.MeasureAll()
+		tunedWalls, tunedRes := tunedH.MeasureAll()
+		for q := 0; q < tpch.NumQueries; q++ {
+			if defRes[q].Check != tunedRes[q].Check {
+				panic("experiments: query answers diverged between configs")
+			}
+			out.Reduction[prof.Name] = append(out.Reduction[prof.Name],
+				(defWalls[q]-tunedWalls[q])/defWalls[q])
+		}
+		out.DefaultWall[prof.Name] = defWalls
+		out.TunedWall[prof.Name] = tunedWalls
+	}
+	return out
+}
+
+// Render renders Figure 8.
+func (r Fig8Result) Render() *report.Table {
+	t := &report.Table{Title: "Fig 8: TPC-H query latency reduction, tuned vs default OS configuration, Machine A"}
+	t.Header = []string{"query"}
+	t.Header = append(t.Header, r.Systems...)
+	for q := 0; q < tpch.NumQueries; q++ {
+		cells := []interface{}{"Q" + strconv.Itoa(q+1)}
+		for _, sys := range r.Systems {
+			cells = append(cells, report.Pct(r.Reduction[sys][q]))
+		}
+		t.AddRow(cells...)
+	}
+	avg := []interface{}{"mean"}
+	for _, sys := range r.Systems {
+		avg = append(avg, report.Pct(r.Mean(sys)))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Mean returns a system's average latency reduction across queries.
+func (r Fig8Result) Mean(system string) float64 {
+	var sum float64
+	for _, v := range r.Reduction[system] {
+		sum += v
+	}
+	return sum / float64(len(r.Reduction[system]))
+}
+
+// Max returns a system's best per-query latency reduction.
+func (r Fig8Result) Max(system string) float64 {
+	best := r.Reduction[system][0]
+	for _, v := range r.Reduction[system] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Fig9Result holds Figure 9: MonetDB's Q5 and Q18 latency under each
+// allocator (tuned OS configuration otherwise).
+type Fig9Result struct {
+	Allocators []string
+	Q5         []float64
+	Q18        []float64
+}
+
+// Fig9 varies the overriding allocator for MonetDB on queries 5 and 18.
+func Fig9(s Scale) Fig9Result {
+	db := tpch.Generate(s.TPCHSF, 41)
+	out := Fig9Result{Allocators: alloc.WorkloadNames()}
+	prof := tpch.ProfileByName("MonetDB")
+	for _, name := range out.Allocators {
+		spec := machine.SpecA()
+		cfg := w5TunedConfig(spec.HardwareThreads(), false)
+		cfg.Allocator = name
+		h := tpch.NewHarness(spec, prof, cfg, db, s.WarmRuns)
+		q5, _ := h.Measure(5)
+		q18, _ := h.Measure(18)
+		out.Q5 = append(out.Q5, q5)
+		out.Q18 = append(out.Q18, q18)
+	}
+	return out
+}
+
+// Render renders Figure 9 (millions of cycles: simulator-scale TPC-H
+// queries are far below the billion-cycle range of W1-W4).
+func (r Fig9Result) Render() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 9: TPC-H Q5/Q18 latency by allocator, MonetDB, Machine A (million cycles)",
+		Header: []string{"allocator", "Q5", "Q18"},
+	}
+	for i, a := range r.Allocators {
+		t.AddRow(a, r.Q5[i]/1e6, r.Q18[i]/1e6)
+	}
+	return t
+}

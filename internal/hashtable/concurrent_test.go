@@ -1,0 +1,104 @@
+package hashtable
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+// These tests exercise the table under genuinely interleaved simulated
+// threads (small quantum => frequent yields inside table operations),
+// verifying the CAS-retry upsert's linearizability guarantees.
+
+func contendedMachine(quantum float64) *machine.Machine {
+	m := machine.NewB()
+	m.Configure(machine.RunConfig{
+		Threads:   16,
+		Placement: machine.PlaceSparse,
+		Policy:    vmm.Interleave,
+		Allocator: "ptmalloc",
+		Seed:      99,
+	})
+	m.P.Quantum = quantum // tiny quantum: yields mid-operation constantly
+	return m
+}
+
+func TestGetOrPutNoDuplicatesUnderContention(t *testing.T) {
+	m := contendedMachine(200)
+	var table *Table
+	m.Run(1, func(th *machine.Thread) { table = New(th, 256) })
+	const distinct = 200
+	inserted := make([]int, 16)
+	m.Run(16, func(th *machine.Thread) {
+		// Every thread upserts the same key set in different orders, so
+		// almost every insert races.
+		for i := 0; i < distinct; i++ {
+			key := uint64((i*7+th.ID()*13)%distinct) * 3
+			_, fresh := table.GetOrPut(th, key, func() uint32 { return uint32(key) })
+			if fresh {
+				inserted[th.ID()]++
+			}
+		}
+	})
+	if table.Len() != distinct {
+		t.Fatalf("Len = %d, want %d (duplicate inserts under contention)", table.Len(), distinct)
+	}
+	total := 0
+	for _, n := range inserted {
+		total += n
+	}
+	if total != distinct {
+		t.Fatalf("%d successful inserts reported, want %d", total, distinct)
+	}
+	// Every key resolves to the single winning value.
+	m.Run(1, func(th *machine.Thread) {
+		for i := 0; i < distinct; i++ {
+			key := uint64(i) * 3
+			v, ok := table.Get(th, key)
+			if !ok || v != uint32(key) {
+				t.Fatalf("Get(%d) = %d,%v", key, v, ok)
+			}
+		}
+	})
+}
+
+func TestConcurrentPutDistinctKeysNoLoss(t *testing.T) {
+	m := contendedMachine(150)
+	var table *Table
+	m.Run(1, func(th *machine.Thread) { table = New(th, 64) }) // heavy chaining
+	const perThread = 100
+	m.Run(16, func(th *machine.Thread) {
+		for i := 0; i < perThread; i++ {
+			table.Put(th, uint64(th.ID()*perThread+i), uint32(th.ID()))
+		}
+	})
+	if table.Len() != 16*perThread {
+		t.Fatalf("Len = %d, want %d (lost inserts)", table.Len(), 16*perThread)
+	}
+	m.Run(1, func(th *machine.Thread) {
+		for k := uint64(0); k < 16*perThread; k++ {
+			if v, ok := table.Get(th, k); !ok || int(v) != int(k)/perThread {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestUpsertRaceChargesRetries(t *testing.T) {
+	// The losing side of an upsert race frees its speculative node; the
+	// allocator must come back to zero live bytes once everything is
+	// released.
+	m := contendedMachine(200)
+	var table *Table
+	m.Run(1, func(th *machine.Thread) { table = New(th, 128) })
+	m.Run(16, func(th *machine.Thread) {
+		for i := 0; i < 50; i++ {
+			table.GetOrPut(th, uint64(i), func() uint32 { return uint32(i) })
+		}
+	})
+	m.Run(1, func(th *machine.Thread) { table.Release(th) })
+	if live := m.Alloc.Stats().LiveBytes; live != 0 {
+		t.Fatalf("live bytes after release = %d (leaked race-loser nodes)", live)
+	}
+}

@@ -1,0 +1,151 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+// withThread runs fn on a single simulated thread of a small machine.
+func withThread(t *testing.T, fn func(th *machine.Thread)) machine.Result {
+	t.Helper()
+	m := machine.NewB()
+	m.Configure(machine.RunConfig{
+		Threads:   1,
+		Placement: machine.PlaceSparse,
+		Policy:    vmm.FirstTouch,
+		Allocator: "tbbmalloc",
+		Seed:      1,
+	})
+	return m.Run(1, fn)
+}
+
+func TestPutGet(t *testing.T) {
+	withThread(t, func(th *machine.Thread) {
+		h := New(th, 1024)
+		for k := uint64(0); k < 500; k++ {
+			h.Put(th, k*7, uint32(k))
+		}
+		for k := uint64(0); k < 500; k++ {
+			v, ok := h.Get(th, k*7)
+			if !ok || v != uint32(k) {
+				t.Errorf("Get(%d) = %d,%v want %d,true", k*7, v, ok, k)
+			}
+		}
+		if _, ok := h.Get(th, 999999); ok {
+			t.Error("found a key never inserted")
+		}
+		if h.Len() != 500 {
+			t.Errorf("Len = %d, want 500", h.Len())
+		}
+	})
+}
+
+func TestGetOrPut(t *testing.T) {
+	withThread(t, func(th *machine.Thread) {
+		h := New(th, 64)
+		v1, ins1 := h.GetOrPut(th, 42, func() uint32 { return 7 })
+		if !ins1 || v1 != 7 {
+			t.Fatalf("first GetOrPut = %d,%v", v1, ins1)
+		}
+		v2, ins2 := h.GetOrPut(th, 42, func() uint32 { return 8 })
+		if ins2 || v2 != 7 {
+			t.Fatalf("second GetOrPut = %d,%v, want existing 7", v2, ins2)
+		}
+	})
+}
+
+func TestMatchesMapSemantics(t *testing.T) {
+	withThread(t, func(th *machine.Thread) {
+		h := New(th, 128)
+		ref := map[uint64]uint32{}
+		f := func(keys []uint64) bool {
+			for _, k := range keys {
+				want := uint32(k % 1000)
+				if _, ok := ref[k]; !ok {
+					ref[k] = want
+					h.Put(th, k, want)
+				}
+				got, ok := h.Get(th, k)
+				if !ok || got != ref[k] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	withThread(t, func(th *machine.Thread) {
+		h := New(th, 64)
+		want := map[uint64]uint32{}
+		for k := uint64(0); k < 200; k++ {
+			h.Put(th, k, uint32(k*2))
+			want[k] = uint32(k * 2)
+		}
+		got := map[uint64]uint32{}
+		h.ForEach(th, func(k uint64, v uint32) { got[k] = v })
+		if len(got) != len(want) {
+			t.Fatalf("visited %d entries, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("key %d: got %d want %d", k, got[k], v)
+			}
+		}
+	})
+}
+
+func TestCollisionChains(t *testing.T) {
+	withThread(t, func(th *machine.Thread) {
+		h := New(th, 1) // one bucket: everything chains
+		for k := uint64(0); k < 50; k++ {
+			h.Put(th, k, uint32(k))
+		}
+		for k := uint64(0); k < 50; k++ {
+			if v, ok := h.Get(th, k); !ok || v != uint32(k) {
+				t.Fatalf("chained Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestReleaseReturnsMemory(t *testing.T) {
+	m := machine.NewB()
+	m.Configure(machine.RunConfig{Threads: 1, Placement: machine.PlaceSparse, Allocator: "ptmalloc", Seed: 1})
+	m.Run(1, func(th *machine.Thread) {
+		h := New(th, 256)
+		for k := uint64(0); k < 1000; k++ {
+			h.Put(th, k, uint32(k))
+		}
+		h.Release(th)
+	})
+	stats := m.Alloc.Stats()
+	if stats.LiveBytes != 0 {
+		t.Errorf("live bytes after release = %d, want 0", stats.LiveBytes)
+	}
+}
+
+func TestAccessesAreCharged(t *testing.T) {
+	res := withThread(t, func(th *machine.Thread) {
+		h := New(th, 4096)
+		for k := uint64(0); k < 5000; k++ {
+			h.Put(th, k, uint32(k))
+		}
+		for k := uint64(0); k < 5000; k++ {
+			h.Get(th, k)
+		}
+	})
+	if res.Counters.CacheAccesses == 0 {
+		t.Error("hash table operations must reach the cache hierarchy")
+	}
+	if res.WallCycles < 5000*hashCycles {
+		t.Error("wall cycles implausibly low for 10k table operations")
+	}
+}

@@ -1,0 +1,209 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// btree is a cache-optimized B+tree in the spirit of the STX B+tree the
+// paper evaluates: wide nodes sized to a few cache lines, values only in
+// leaves, and a linked leaf level. One node kind means one hot allocator
+// size class — the "many keys per node" profile the paper contrasts with
+// ART.
+type btree struct {
+	order  int // max keys per node
+	root   *bnode
+	height int
+	n      int
+}
+
+type bnode struct {
+	addr uint64
+	size uint64
+	leaf bool
+	keys []uint64
+	vals []uint64 // leaves only
+	kids []*bnode // inner only
+	next *bnode   // leaf chain
+}
+
+// btreeOrder is the fanout: 32 keys x 16 bytes ~= 8 cache lines per node.
+const btreeOrder = 32
+
+func newBTree() *btree { return &btree{order: btreeOrder} }
+
+func (b *btree) Name() string { return "B+tree" }
+func (b *btree) Len() int     { return b.n }
+
+// nodeSize is the simulated footprint of one node: header plus order
+// (key, value-or-child) slots. Masstree reuses this tree with order 15.
+func (b *btree) nodeSize() uint64 {
+	return 16 + uint64(b.order)*16
+}
+
+// probeBytes is how much of a node a binary search actually touches: the
+// header plus about three cache lines of keys and one child slot.
+func (b *btree) probeBytes() uint64 {
+	p := uint64(16 + 3*64)
+	if p > b.nodeSize() {
+		p = b.nodeSize()
+	}
+	return p
+}
+
+func (b *btree) newNode(t *machine.Thread, leaf bool) *bnode {
+	n := &bnode{leaf: leaf, size: b.nodeSize()}
+	n.addr = t.Malloc(n.size)
+	t.Write(n.addr, 16) // header init
+	return n
+}
+
+// searchCycles is the charge for a binary search within one node.
+func searchCycles(keys int) float64 {
+	c := 1.0
+	for n := 1; n < keys; n <<= 1 {
+		c++
+	}
+	return 4 * c
+}
+
+func (b *btree) Insert(t *machine.Thread, key, val uint64) {
+	if b.root == nil {
+		b.root = b.newNode(t, true)
+		b.height = 1
+	}
+	// Descend, remembering the path for splits.
+	path := make([]*bnode, 0, b.height)
+	node := b.root
+	for !node.leaf {
+		t.Read(node.addr, b.probeBytes())
+		t.Charge(searchCycles(len(node.keys)))
+		path = append(path, node)
+		node = node.kids[childIdx(node.keys, key)]
+	}
+	t.Read(node.addr, b.probeBytes())
+	t.Charge(searchCycles(len(node.keys)))
+	i := sort.Search(len(node.keys), func(j int) bool { return node.keys[j] >= key })
+	if i < len(node.keys) && node.keys[i] == key {
+		node.vals[i] = val
+		t.Write(node.addr, 16)
+		return
+	}
+	node.keys = append(node.keys, 0)
+	node.vals = append(node.vals, 0)
+	copy(node.keys[i+1:], node.keys[i:])
+	copy(node.vals[i+1:], node.vals[i:])
+	node.keys[i] = key
+	node.vals[i] = val
+	t.Write(node.addr, node.size/2) // shift half the node on average
+	b.n++
+	// Split upward while over capacity.
+	for node != nil && len(node.keys) > b.order {
+		parent := popPath(&path)
+		node = b.split(t, node, parent)
+	}
+}
+
+// childIdx returns which child of an inner node covers key: keys[i] is the
+// smallest key of kids[i+1].
+func childIdx(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(j int) bool { return keys[j] > key })
+}
+
+func popPath(path *[]*bnode) *bnode {
+	p := *path
+	if len(p) == 0 {
+		return nil
+	}
+	last := p[len(p)-1]
+	*path = p[:len(p)-1]
+	return last
+}
+
+// split divides an over-full node, pushing the separator into parent (or a
+// new root), and returns the parent for cascade checks (nil when done).
+func (b *btree) split(t *machine.Thread, node, parent *bnode) *bnode {
+	mid := len(node.keys) / 2
+	right := b.newNode(t, node.leaf)
+	var sep uint64
+	if node.leaf {
+		sep = node.keys[mid]
+		right.keys = append(right.keys, node.keys[mid:]...)
+		right.vals = append(right.vals, node.vals[mid:]...)
+		node.keys = node.keys[:mid]
+		node.vals = node.vals[:mid]
+		right.next = node.next
+		node.next = right
+	} else {
+		sep = node.keys[mid]
+		right.keys = append(right.keys, node.keys[mid+1:]...)
+		right.kids = append(right.kids, node.kids[mid+1:]...)
+		node.keys = node.keys[:mid]
+		node.kids = node.kids[:mid+1]
+	}
+	t.Write(node.addr, node.size)
+	t.Write(right.addr, right.size)
+	if parent == nil {
+		newRoot := b.newNode(t, false)
+		newRoot.keys = []uint64{sep}
+		newRoot.kids = []*bnode{node, right}
+		t.Write(newRoot.addr, 32)
+		b.root = newRoot
+		b.height++
+		return nil
+	}
+	i := childIdx(parent.keys, sep)
+	parent.keys = append(parent.keys, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = sep
+	parent.kids = append(parent.kids, nil)
+	copy(parent.kids[i+2:], parent.kids[i+1:])
+	parent.kids[i+1] = right
+	t.Write(parent.addr, parent.size/2)
+	return parent
+}
+
+func (b *btree) Lookup(t *machine.Thread, key uint64) (uint64, bool) {
+	node := b.root
+	if node == nil {
+		return 0, false
+	}
+	for !node.leaf {
+		t.Read(node.addr, b.probeBytes())
+		t.Charge(searchCycles(len(node.keys)))
+		node = node.kids[childIdx(node.keys, key)]
+	}
+	t.Read(node.addr, b.probeBytes())
+	t.Charge(searchCycles(len(node.keys)))
+	i := sort.Search(len(node.keys), func(j int) bool { return node.keys[j] >= key })
+	if i < len(node.keys) && node.keys[i] == key {
+		return node.vals[i], true
+	}
+	return 0, false
+}
+
+// Scan walks leaves in key order starting at the first key >= from,
+// calling fn until it returns false. Used by range queries and tests.
+func (b *btree) Scan(t *machine.Thread, from uint64, fn func(key, val uint64) bool) {
+	node := b.root
+	if node == nil {
+		return
+	}
+	for !node.leaf {
+		t.Read(node.addr, node.size)
+		node = node.kids[childIdx(node.keys, from)]
+	}
+	for node != nil {
+		t.Read(node.addr, node.size)
+		for i, k := range node.keys {
+			if k < from {
+				continue
+			}
+			if !fn(k, node.vals[i]) {
+				return
+			}
+		}
+		node = node.next
+	}
+}

@@ -1,0 +1,67 @@
+// Package index provides the four in-memory indexes evaluated by the
+// paper's index nested-loop join workload (W4): ART (an adaptive radix
+// tree), Masstree (modelled as its B+tree core with per-node version
+// handshakes), a cache-optimized B+tree, and a canonical Skip List.
+//
+// Every index stores its nodes in simulated memory through the machine's
+// configured allocator, so node size-class variety (ART's four node kinds),
+// per-level pointer chases (Skip List), and fanout (B+trees) translate into
+// the allocator and placement effects Figure 7 reports.
+//
+// Indexes are pre-built single-threaded (W4 joins against a pre-built
+// index); lookups are read-only and safe to run from many simulated
+// threads concurrently.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Kind names an index implementation, spelled as the paper's figures do.
+type Kind string
+
+// The four index kinds of W4.
+const (
+	ARTKind      Kind = "ART"
+	MasstreeKind Kind = "Masstree"
+	BTreeKind    Kind = "B+tree"
+	SkipListKind Kind = "Skip List"
+)
+
+// Kinds lists the index kinds in the paper's order.
+func Kinds() []Kind { return []Kind{ARTKind, MasstreeKind, BTreeKind, SkipListKind} }
+
+// Index is an ordered map from uint64 keys to uint64 values living in
+// simulated memory.
+type Index interface {
+	// Name returns the index's display name.
+	Name() string
+	// Insert adds or overwrites key -> val, charging the inserting thread
+	// for the traversal, node writes, and any node allocations. Inserts
+	// must come from a single thread (pre-build phase).
+	Insert(t *machine.Thread, key, val uint64)
+	// Lookup returns the value for key, charging the traversal. Lookups
+	// are read-only and may run from any number of threads.
+	Lookup(t *machine.Thread, key uint64) (uint64, bool)
+	// Len returns the number of stored keys.
+	Len() int
+}
+
+// New constructs an index of the given kind. It panics on unknown kinds so
+// experiment tables fail loudly.
+func New(kind Kind) Index {
+	switch kind {
+	case ARTKind:
+		return newART()
+	case MasstreeKind:
+		return newMasstree()
+	case BTreeKind:
+		return newBTree()
+	case SkipListKind:
+		return newSkipList()
+	default:
+		panic(fmt.Sprintf("index: unknown kind %q", kind))
+	}
+}

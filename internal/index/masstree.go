@@ -1,0 +1,37 @@
+package index
+
+import "repro/internal/machine"
+
+// masstree models Masstree for fixed 8-byte keys. Masstree is a trie of
+// B+trees; with uint64 keys the structure collapses to a single B+tree
+// layer, so we model exactly that: its characteristic 15-way border/
+// interior nodes, plus the per-node version validation and permutation
+// indirection of its optimistic concurrency protocol, which every
+// traversal pays even uncontended.
+type masstree struct {
+	inner btree
+}
+
+// masstreeOrder is Masstree's 15-key node fanout.
+const masstreeOrder = 15
+
+// masstreeNodeOverhead is the extra charge per visited node: version
+// check, permutation decode, and the double-read of the version word.
+const masstreeNodeOverhead = 14
+
+func newMasstree() *masstree {
+	return &masstree{inner: btree{order: masstreeOrder}}
+}
+
+func (m *masstree) Name() string { return "Masstree" }
+func (m *masstree) Len() int     { return m.inner.n }
+
+func (m *masstree) Insert(t *machine.Thread, key, val uint64) {
+	t.Charge(masstreeNodeOverhead * float64(m.inner.height+1))
+	m.inner.Insert(t, key, val)
+}
+
+func (m *masstree) Lookup(t *machine.Thread, key uint64) (uint64, bool) {
+	t.Charge(masstreeNodeOverhead * float64(m.inner.height+1))
+	return m.inner.Lookup(t, key)
+}

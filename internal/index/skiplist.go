@@ -1,0 +1,111 @@
+package index
+
+import (
+	"repro/internal/machine"
+	"repro/internal/xrand"
+)
+
+// skiplist is the canonical probabilistic skip list: towers of forward
+// pointers with geometric height. Every level step is a dependent pointer
+// chase to a node allocated at insert time, so lookups scatter across the
+// heap — the poor locality that keeps the skip list the slowest index in
+// Figure 7e despite its simplicity.
+type skiplist struct {
+	maxLevel int
+	head     *slNode // sentinel with maxLevel forwards
+	level    int
+	n        int
+	rng      *xrand.Rand
+}
+
+type slNode struct {
+	key, val uint64
+	addr     uint64
+	size     uint64
+	next     []*slNode
+}
+
+const slMaxLevel = 24
+
+func newSkipList() *skiplist {
+	return &skiplist{
+		maxLevel: slMaxLevel,
+		head:     &slNode{next: make([]*slNode, slMaxLevel)},
+		level:    1,
+		rng:      xrand.New(0x5b1f),
+	}
+}
+
+func (s *skiplist) Name() string { return "Skip List" }
+func (s *skiplist) Len() int     { return s.n }
+
+// nodeBytes is the simulated size of a node with the given tower height:
+// key, value, and one forward pointer per level.
+func slNodeBytes(levels int) uint64 { return 16 + 8*uint64(levels) }
+
+// randomLevel draws a tower height with p = 1/2 per extra level.
+func (s *skiplist) randomLevel() int {
+	l := 1
+	for l < s.maxLevel && s.rng.Bernoulli(0.5) {
+		l++
+	}
+	return l
+}
+
+func (s *skiplist) Insert(t *machine.Thread, key, val uint64) {
+	update := make([]*slNode, s.maxLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+			t.Read(x.addr, 24) // key + level-i forward pointer
+			t.Charge(2)
+		}
+		update[i] = x
+	}
+	if nxt := x.next[0]; nxt != nil && nxt.key == key {
+		nxt.val = val
+		t.Write(nxt.addr, 8)
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &slNode{key: key, val: val, size: slNodeBytes(lvl), next: make([]*slNode, lvl)}
+	node.addr = t.Malloc(node.size)
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	t.Write(node.addr, node.size)
+	for i := 0; i < lvl; i++ {
+		if update[i] != s.head {
+			t.Write(update[i].addr, 8)
+		}
+	}
+	s.n++
+}
+
+func (s *skiplist) Lookup(t *machine.Thread, key uint64) (uint64, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+			t.Read(x.addr, 24)
+			t.Charge(2)
+		}
+	}
+	x = x.next[0]
+	if x != nil {
+		t.Read(x.addr, 24)
+		t.Charge(2)
+		if x.key == key {
+			return x.val, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,342 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/vmm"
+)
+
+// scanBody returns a body that allocates bytes of memory and scans it
+// passes times, touching every cache line.
+func scanBody(bytes uint64, passes int) func(*Thread) {
+	return func(t *Thread) {
+		base := t.Malloc(bytes)
+		for p := 0; p < passes; p++ {
+			for off := uint64(0); off < bytes; off += 64 {
+				t.Write(base+off, 8)
+			}
+		}
+		t.Free(base, bytes)
+	}
+}
+
+func testConfig(threads int) RunConfig {
+	return RunConfig{
+		Threads:   threads,
+		Placement: PlaceSparse,
+		Policy:    vmm.FirstTouch,
+		Allocator: "ptmalloc",
+		Seed:      7,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	m := NewB()
+	m.Configure(testConfig(4))
+	res := m.Run(4, scanBody(1<<20, 2))
+	if res.WallCycles <= 0 {
+		t.Fatal("wall cycles must be positive")
+	}
+	c := res.Counters
+	if c.LocalAccesses+c.RemoteAccesses == 0 {
+		t.Fatal("no DRAM accesses recorded")
+	}
+	if c.MinorFaults == 0 {
+		t.Fatal("no faults recorded")
+	}
+	// The large allocation was freed (and unmapped), so RSS should have
+	// dropped back to at most the allocator's retained slack.
+	if res.RSSBytes > 1<<20 {
+		t.Fatalf("RSS = %d after freeing everything", res.RSSBytes)
+	}
+}
+
+func TestRSSTracksLiveAllocations(t *testing.T) {
+	m := NewB()
+	m.Configure(testConfig(2))
+	res := m.Run(2, func(t *Thread) {
+		base := t.Malloc(1 << 20)
+		for off := uint64(0); off < 1<<20; off += 64 {
+			t.Write(base+off, 8)
+		}
+		// Keep it live: RSS must reflect the touched pages.
+	})
+	if res.RSSBytes < 2<<20 {
+		t.Fatalf("RSS = %d, want at least the 2MiB touched", res.RSSBytes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		m := NewA()
+		cfg := DefaultConfig(8)
+		cfg.Seed = 42
+		m.Configure(cfg)
+		return m.Run(8, scanBody(256<<10, 2))
+	}
+	r1, r2 := run(), run()
+	if r1.WallCycles != r2.WallCycles {
+		t.Errorf("wall cycles differ across identical runs: %v vs %v", r1.WallCycles, r2.WallCycles)
+	}
+	if r1.Counters != r2.Counters {
+		t.Errorf("counters differ across identical runs:\n%+v\n%+v", r1.Counters, r2.Counters)
+	}
+}
+
+func TestSeedChangesOSSchedule(t *testing.T) {
+	wall := func(seed uint64) float64 {
+		m := NewA()
+		cfg := DefaultConfig(16)
+		cfg.Seed = seed
+		m.Configure(cfg)
+		return m.Run(16, scanBody(128<<10, 2)).WallCycles
+	}
+	if wall(1) == wall(2) {
+		t.Error("different seeds should give different OS scheduling outcomes")
+	}
+}
+
+func TestSparsePlacementSpreadsNodes(t *testing.T) {
+	m := NewB() // 4 nodes, 8 contexts per node
+	cfg := testConfig(4)
+	m.Configure(cfg)
+	seen := map[int]bool{}
+	m.Run(4, func(t *Thread) { seen[int(t.Node())] = true })
+	if len(seen) != 4 {
+		t.Errorf("sparse placement of 4 threads should span 4 nodes, got %v", seen)
+	}
+}
+
+func TestDensePlacementPacks(t *testing.T) {
+	m := NewB()
+	cfg := testConfig(8)
+	cfg.Placement = PlaceDense
+	m.Configure(cfg)
+	seen := map[int]bool{}
+	m.Run(8, func(t *Thread) { seen[int(t.Node())] = true })
+	if len(seen) != 1 {
+		t.Errorf("dense placement of 8 threads should fit one node (8 contexts), got %v", seen)
+	}
+}
+
+func TestAffinityPreventsMigration(t *testing.T) {
+	m := NewA()
+	cfg := testConfig(8)
+	m.Configure(cfg)
+	res := m.Run(8, scanBody(512<<10, 3))
+	if res.Counters.ThreadMigrations != 0 {
+		t.Errorf("pinned threads migrated %d times", res.Counters.ThreadMigrations)
+	}
+}
+
+func TestOSSchedulerMigrates(t *testing.T) {
+	// With migration-heavy seeds the OS scheduler must move threads.
+	migrated := false
+	for seed := uint64(1); seed <= 10 && !migrated; seed++ {
+		m := NewA()
+		cfg := DefaultConfig(16)
+		cfg.AutoNUMA = false
+		cfg.THP = false
+		cfg.Seed = seed
+		m.Configure(cfg)
+		res := m.Run(16, scanBody(512<<10, 3))
+		migrated = res.Counters.ThreadMigrations > 0
+	}
+	if !migrated {
+		t.Error("OS scheduler never migrated across 10 seeds")
+	}
+}
+
+func TestFirstTouchIsLocalForPrivateData(t *testing.T) {
+	m := NewB()
+	cfg := testConfig(4)
+	m.Configure(cfg)
+	res := m.Run(4, scanBody(2<<20, 2)) // private allocations per thread
+	if lar := res.Counters.LAR(); lar < 0.95 {
+		t.Errorf("first-touch private scans should be nearly all local, LAR = %v", lar)
+	}
+}
+
+func TestInterleaveLARMatchesNodeCount(t *testing.T) {
+	m := NewB() // 4 nodes
+	cfg := testConfig(4)
+	cfg.Policy = vmm.Interleave
+	m.Configure(cfg)
+	res := m.Run(4, scanBody(2<<20, 2))
+	lar := res.Counters.LAR()
+	if lar < 0.15 || lar > 0.40 {
+		t.Errorf("interleaved LAR should be near 1/4, got %v", lar)
+	}
+}
+
+func TestAutoNUMAMigratesAndCosts(t *testing.T) {
+	// One thread first-touches a shared region from node 0; threads on
+	// other nodes then hammer it. AutoNUMA should migrate pages toward the
+	// accessors — and the run with AutoNUMA enabled should pay for it.
+	// Machine A's 2MiB LLC cannot hold the region, so every pass reaches
+	// DRAM and feeds the balancer's samples.
+	build := func(auto bool) Result {
+		m := NewA()
+		cfg := testConfig(4)
+		cfg.AutoNUMA = auto
+		m.Configure(cfg)
+		// Suppress the daemon's task migration so the test isolates the
+		// page-migration path (otherwise moving the thread to the data
+		// fixes locality first, which is also valid balancer behaviour).
+		m.P.AutoNUMAThreadMove = 0
+		var base uint64
+		m.Run(1, func(t *Thread) {
+			base = t.Malloc(8 << 20)
+			for off := uint64(0); off < 8<<20; off += 64 {
+				t.Write(base+off, 8)
+			}
+		})
+		m.ResetCounters()
+		return m.Run(4, func(t *Thread) {
+			if t.ID() != 1 {
+				return
+			}
+			// A single remote thread re-scans the region repeatedly: the
+			// two-sample rule sees stable remote ownership.
+			for pass := 0; pass < 12; pass++ {
+				for off := uint64(0); off < 8<<20; off += 64 {
+					t.Read(base+off, 8)
+				}
+			}
+		})
+	}
+	on := build(true)
+	off := build(false)
+	if on.Counters.PageMigrations == 0 {
+		t.Error("AutoNUMA made no page migrations in a remote-dominant scan")
+	}
+	if off.Counters.PageMigrations != 0 {
+		t.Error("pages migrated with AutoNUMA disabled")
+	}
+}
+
+func TestTHPPromotesAndHelpsTLB(t *testing.T) {
+	run := func(thp bool) Result {
+		m := NewC()
+		cfg := testConfig(4)
+		cfg.THP = thp
+		m.Configure(cfg)
+		return m.Run(4, scanBody(32<<20, 6))
+	}
+	with := run(true)
+	without := run(false)
+	if with.Counters.HugePromotions == 0 {
+		t.Fatal("THP never promoted in a large sequential scan")
+	}
+	if without.Counters.HugePromotions != 0 {
+		t.Fatal("promotions happened with THP off")
+	}
+	if with.Counters.TLBMisses >= without.Counters.TLBMisses {
+		t.Errorf("THP should cut TLB misses on big scans: with=%d without=%d",
+			with.Counters.TLBMisses, without.Counters.TLBMisses)
+	}
+}
+
+func TestOversubscriptionInflatesWall(t *testing.T) {
+	// Each thread does the same work; with 2x oversubscription every
+	// context time-shares two threads, so the makespan should roughly
+	// double relative to a fully-fitting dense run of the same per-thread
+	// work.
+	m := NewB() // 32 hardware threads
+	cfg := testConfig(32)
+	cfg.Placement = PlaceDense
+	m.Configure(cfg)
+	fit := m.Run(32, scanBody(256<<10, 2)).WallCycles
+
+	m2 := NewB()
+	cfg2 := testConfig(64)
+	cfg2.Placement = PlaceDense
+	m2.Configure(cfg2)
+	over := m2.Run(64, scanBody(256<<10, 2)).WallCycles
+	if over < fit*1.5 {
+		t.Errorf("2x oversubscribed wall (%v) should be well above fitting wall (%v)", over, fit)
+	}
+}
+
+func TestContentionConcentrationHurts(t *testing.T) {
+	// All threads hammering one node's memory (Preferred) must be slower
+	// than spreading pages (Interleave) at full thread count.
+	run := func(policy vmm.Policy) float64 {
+		m := NewA()
+		cfg := testConfig(16)
+		cfg.Policy = policy
+		m.Configure(cfg)
+		var base uint64
+		m.Run(1, func(t *Thread) {
+			base = t.Malloc(8 << 20)
+			for off := uint64(0); off < 8<<20; off += 4096 {
+				t.Write(base+off, 8) // fault in all pages
+			}
+		})
+		res := m.Run(16, func(t *Thread) {
+			r := t.RNG()
+			for i := 0; i < 20000; i++ {
+				off := (r.Uint64n(8 << 20)) &^ 63
+				t.Read(base+off, 8)
+			}
+		})
+		return res.WallCycles
+	}
+	concentrated := run(vmm.Preferred) // everything on node 0
+	spread := run(vmm.Interleave)
+	if concentrated <= spread*1.2 {
+		t.Errorf("one-node concentration (%v) should clearly exceed interleave (%v)", concentrated, spread)
+	}
+}
+
+func TestChargePureCPU(t *testing.T) {
+	m := NewB()
+	m.Configure(testConfig(1))
+	res := m.Run(1, func(t *Thread) { t.Charge(12345) })
+	if res.WallCycles < 12345 {
+		t.Errorf("wall %v should include charged work", res.WallCycles)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := NewB()
+	m.Configure(RunConfig{})
+	cfg := m.Config()
+	if cfg.Threads != m.Spec.HardwareThreads() {
+		t.Errorf("zero threads should default to hardware threads, got %d", cfg.Threads)
+	}
+	if cfg.Allocator != "ptmalloc" {
+		t.Errorf("empty allocator should default to ptmalloc, got %q", cfg.Allocator)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	m := NewA() // 2.8 GHz
+	if s := m.Seconds(2.8e9); s < 0.999 || s > 1.001 {
+		t.Errorf("2.8e9 cycles at 2.8GHz = %v s, want 1", s)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	for _, p := range []Placement{PlaceNone, PlaceSparse, PlaceDense} {
+		if p.String() == "" {
+			t.Error("empty placement name")
+		}
+	}
+}
+
+func TestSpecPresets(t *testing.T) {
+	a, b, c := SpecA(), SpecB(), SpecC()
+	if a.HardwareThreads() != 16 {
+		t.Errorf("Machine A hardware threads = %d, want 16", a.HardwareThreads())
+	}
+	if b.HardwareThreads() != 32 {
+		t.Errorf("Machine B hardware threads = %d, want 32", b.HardwareThreads())
+	}
+	if c.HardwareThreads() != 64 {
+		t.Errorf("Machine C hardware threads = %d, want 64", c.HardwareThreads())
+	}
+	if a.Params.DRAMCycles <= c.Params.DRAMCycles {
+		t.Error("Machine A's slow memory should cost more cycles than C's")
+	}
+}

@@ -1,0 +1,108 @@
+package machine
+
+// Params holds every tunable coefficient of the simulator's cost model.
+// Centralizing them here keeps calibration auditable: the experiment shapes
+// in EXPERIMENTS.md are produced by exactly these numbers, and tests assert
+// shapes rather than constants.
+//
+// All costs are in CPU cycles unless noted.
+type Params struct {
+	// CPU access costs.
+	L1HitCycles  float64 // L1 data cache hit
+	LLCHitCycles float64 // last-level cache hit
+	DRAMCycles   float64 // row access on the local node, uncontended
+
+	// TLB costs.
+	WalkCycles     float64 // page-table walk after a 4KiB TLB miss
+	WalkHugeCycles float64 // walk after a 2MiB TLB miss (one level shorter)
+
+	// Paging costs.
+	MinorFaultCycles float64 // demand-zero fault service
+
+	// Scheduler costs.
+	MigrationCycles float64 // context move: scheduler work + pipeline refill
+
+	// Coherence: cost of fetching a line that is dirty in another node's
+	// cache (remote cache-to-cache transfer + invalidation).
+	CoherenceCycles float64
+
+	// Contention model. Memory-controller pressure on a node is
+	// activeThreads x (share of recent DRAM traffic hitting that node).
+	// Pressure above ControllerFree queues accesses linearly.
+	ControllerCoeff float64 // latency growth per unit of excess pressure
+	ControllerFree  float64 // pressure absorbed without queueing
+	// Interconnect: remote accesses additionally pay for link sharing,
+	// scaled by the topology's link bandwidth (GT/s).
+	LinkCoeff float64
+
+	// AutoNUMA daemon.
+	AutoNUMAPeriod     float64 // cycles between balancing passes
+	AutoNUMASampleCost float64 // per-thread stall per pass (hint faults)
+	AutoNUMAPageCost   float64 // cost of one page migration
+	AutoNUMAMaxMigrate int     // pages migrated per pass
+	AutoNUMAThreadMove float64 // probability of a thread move per pass
+	AutoNUMAShootdown  float64 // TLB shootdown cost charged per migration
+	AutoNUMASharedLeak float64 // chance a shared page slips past the two-sample rule
+	AutoNUMAHintFault  float64 // minor-fault cost of tripping a sampling hint
+
+	// THP daemon (khugepaged).
+	THPPeriod      float64 // cycles between promotion scans
+	THPPromoteCost float64 // cost of merging one 512-page group
+	THPSplitCost   float64 // cost of splitting a huge page
+	THPMaxPromote  int     // promotions per scan
+	THPFaultCycles float64 // extra zeroing cost when faulting inside a promoted region
+	THPChurnCycles float64 // kernel THP bookkeeping per page an allocator returns
+
+	// Scheduling quantum for the cooperative round-robin (cycles).
+	Quantum float64
+
+	// OS scheduler (no affinity): per-run migration rate is sampled
+	// log-uniformly from [MigrateRateMin, MigrateRateMax] per scheduling
+	// event, reproducing the run-to-run variance of Figure 3.
+	MigrateRateMin float64
+	MigrateRateMax float64
+}
+
+// DefaultParams returns the calibrated coefficient set used by all
+// experiments. See DESIGN.md section 4 for the model equations.
+func DefaultParams() Params {
+	return Params{
+		L1HitCycles:  4,
+		LLCHitCycles: 40,
+		DRAMCycles:   200,
+
+		WalkCycles:     90,
+		WalkHugeCycles: 45,
+
+		MinorFaultCycles: 1800,
+
+		MigrationCycles: 12000,
+
+		CoherenceCycles: 130,
+
+		ControllerCoeff: 0.9,
+		ControllerFree:  2.0,
+		LinkCoeff:       0.25,
+
+		AutoNUMAPeriod:     12_000_000,
+		AutoNUMASampleCost: 20000,
+		AutoNUMAPageCost:   30000,
+		AutoNUMAMaxMigrate: 192,
+		AutoNUMAThreadMove: 0.05,
+		AutoNUMAShootdown:  1200,
+		AutoNUMASharedLeak: 0.12,
+		AutoNUMAHintFault:  1800,
+
+		THPPeriod:      2_000_000,
+		THPPromoteCost: 30000,
+		THPSplitCost:   9000,
+		THPMaxPromote:  64,
+		THPFaultCycles: 350,
+		THPChurnCycles: 2500,
+
+		Quantum: 200_000,
+
+		MigrateRateMin: 0.0005,
+		MigrateRateMax: 0.9,
+	}
+}

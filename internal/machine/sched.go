@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/topology"
+)
+
+// nodeOf maps a hardware context index to its NUMA node. Contexts are
+// numbered node-major: node * coresPerNode * threadsPerCore + core *
+// threadsPerCore + smt.
+func (m *Machine) nodeOf(hw int) topology.NodeID {
+	per := m.Spec.CoresPerNode * m.Spec.ThreadsPerCore
+	return topology.NodeID(hw / per)
+}
+
+// initialHW returns thread i's starting hardware context under the
+// configured placement strategy.
+func (m *Machine) initialHW(i int) int {
+	nodes := m.Spec.Topo.Nodes()
+	per := m.Spec.CoresPerNode * m.Spec.ThreadsPerCore
+	switch m.cfg.Placement {
+	case PlaceSparse:
+		// Round-robin across nodes first, then across contexts in a node.
+		node := i % nodes
+		slot := (i / nodes) % per
+		return node*per + slot
+	case PlaceDense:
+		// Fill node 0 completely before node 1, and so on.
+		return i % m.hwThreads
+	default:
+		// The OS initially balances across domains but without perfect
+		// spreading; power-of-two-choices models its load balancer: pick
+		// two random contexts, take the less loaded one.
+		a := m.rng.Intn(m.hwThreads)
+		b := m.rng.Intn(m.hwThreads)
+		if m.hwLoad[b] < m.hwLoad[a] {
+			return b
+		}
+		return a
+	}
+}
+
+// Run executes body on n simulated threads under the active configuration
+// and returns the run's result. The scheduler is a deterministic
+// least-wall-time-first cooperative loop: exactly one thread executes at a
+// time; kernel daemons fire on the global virtual clock between quanta.
+func (m *Machine) Run(n int, body func(t *Thread)) Result {
+	if n <= 0 {
+		n = m.cfg.Threads
+	}
+	threads := make([]*Thread, n)
+	for i := range threads {
+		t := &Thread{
+			m:      m,
+			id:     i,
+			hw:     m.initialHW(i),
+			l1:     cache.New(m.Spec.L1BytesPerCore/m.Spec.LineSize, 8),
+			tlb:    cache.NewTLB(m.Spec.TLB4KEntries, m.Spec.TLB2MEntries, 4),
+			rng:    m.rng.Derive(uint64(i) + 1),
+			resume: make(chan struct{}),
+			parked: make(chan struct{}),
+		}
+		m.hwLoad[t.hw]++
+		threads[i] = t
+		go func() {
+			<-t.resume
+			body(t)
+			t.done = true
+			t.parked <- struct{}{}
+		}()
+	}
+	m.active = n
+
+	runnable := make([]*Thread, n)
+	copy(runnable, threads)
+	for len(runnable) > 0 {
+		// Pick the thread with the smallest wall time: deterministic and a
+		// decent stand-in for fair scheduling.
+		best := 0
+		for i, t := range runnable {
+			if t.wall < runnable[best].wall {
+				best = i
+			}
+		}
+		t := runnable[best]
+		start := t.cycles
+		t.resume <- struct{}{}
+		<-t.parked
+		// Oversubscribed contexts time-share: wall time inflates by the
+		// context's load, and each switch re-pollutes the private caches.
+		load := m.hwLoad[t.hw]
+		if load < 1 {
+			load = 1
+		}
+		t.wall += (t.cycles - start) * float64(load)
+		if load > 1 {
+			t.l1.Flush()
+			t.tlb.Flush()
+		}
+		if t.wall > m.clock {
+			m.clock = t.wall
+		}
+		m.runDaemons(threads)
+		if t.done {
+			m.hwLoad[t.hw]--
+			m.active--
+			runnable = append(runnable[:best], runnable[best+1:]...)
+			continue
+		}
+		m.osSchedule(t)
+	}
+
+	var res Result
+	for _, t := range threads {
+		if t.wall > res.WallCycles {
+			res.WallCycles = t.wall
+		}
+		m.counters.ThreadMigrations += t.migrations
+	}
+	res.Counters = m.Counters()
+	res.Alloc = m.Alloc.Stats()
+	res.RSSBytes = m.Mem.MappedBytes()
+	return res
+}
+
+// osSchedule applies the OS scheduler's migration behaviour to a thread
+// that just finished a quantum. Only PlaceNone threads migrate; Sparse and
+// Dense placements are pinned.
+func (m *Machine) osSchedule(t *Thread) {
+	if m.cfg.Placement != PlaceNone {
+		return
+	}
+	if !m.rng.Bernoulli(m.migRate) {
+		return
+	}
+	newHW := m.rng.Intn(m.hwThreads)
+	if newHW == t.hw {
+		return
+	}
+	m.migrateThread(t, newHW)
+}
+
+// migrateThread moves t to a new hardware context, invalidating its
+// core-private state and charging the reschedule cost.
+func (m *Machine) migrateThread(t *Thread, newHW int) {
+	m.hwLoad[t.hw]--
+	t.hw = newHW
+	m.hwLoad[newHW]++
+	t.l1.Flush()
+	t.tlb.Flush()
+	t.stall(m.P.MigrationCycles)
+	t.migrations++
+}
+
+// maybeYield parks the thread if its quantum is exhausted, handing control
+// back to the scheduler loop.
+func (t *Thread) maybeYield() {
+	if t.cycles-t.sliceBase < t.m.P.Quantum {
+		return
+	}
+	t.sliceBase = t.cycles
+	t.parked <- struct{}{}
+	<-t.resume
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"repro/internal/topology"
+)
+
+// Spec is the hardware description of a simulated machine, mirroring
+// Table II of the paper. Presets A, B and C reproduce the three evaluation
+// machines; custom specs can model other boxes.
+type Spec struct {
+	Name           string
+	Topo           *topology.Topology
+	CoresPerNode   int
+	ThreadsPerCore int // SMT contexts per core
+	FreqGHz        float64
+
+	// Cache geometry (per the paper's Table II; sizes in bytes).
+	LLCBytesPerNode int
+	L1BytesPerCore  int
+	LineSize        int
+
+	// TLB geometry: total 4KiB entries (L1+L2) and 2MiB entries per core.
+	TLB4KEntries int
+	TLB2MEntries int
+
+	// Memory.
+	MemPerNodeBytes uint64
+	MemClockMHz     int
+
+	Params Params
+}
+
+// HardwareThreads returns the machine's total hardware thread count.
+func (s Spec) HardwareThreads() int {
+	return s.Topo.Nodes() * s.CoresPerNode * s.ThreadsPerCore
+}
+
+// Cores returns the machine's total core count.
+func (s Spec) Cores() int { return s.Topo.Nodes() * s.CoresPerNode }
+
+// SpecA returns Machine A: 8x AMD Opteron 8220 (2 cores each, no SMT) in a
+// twisted-ladder topology with small 2MiB LLCs, slow 800MHz memory and a
+// 2GT/s interconnect. 16 hardware threads.
+func SpecA() Spec {
+	return Spec{
+		Name:            "Machine A",
+		Topo:            topology.MachineA(),
+		CoresPerNode:    2,
+		ThreadsPerCore:  1,
+		FreqGHz:         2.8,
+		LLCBytesPerNode: 2 << 20,
+		L1BytesPerCore:  64 << 10,
+		LineSize:        64,
+		TLB4KEntries:    32 + 512,
+		TLB2MEntries:    8,
+		MemPerNodeBytes: 16 << 30,
+		MemClockMHz:     800,
+		Params:          paramsFor(2.8, 800, 2.0),
+	}
+}
+
+// SpecB returns Machine B: 4x Intel Xeon E7520 (4 cores x 2 SMT each),
+// fully connected with near-uniform latencies (1.1x remote). 32 hardware
+// threads.
+func SpecB() Spec {
+	return Spec{
+		Name:            "Machine B",
+		Topo:            topology.MachineB(),
+		CoresPerNode:    4,
+		ThreadsPerCore:  2,
+		FreqGHz:         2.1,
+		LLCBytesPerNode: 18 << 20,
+		L1BytesPerCore:  64 << 10,
+		LineSize:        64,
+		TLB4KEntries:    64 + 512,
+		TLB2MEntries:    32,
+		MemPerNodeBytes: 16 << 30,
+		MemClockMHz:     1600,
+		Params:          paramsFor(2.1, 1600, 4.8),
+	}
+}
+
+// SpecC returns Machine C: 4x Intel Xeon E7-4850 v4 (8 cores x 2 SMT each),
+// fully connected but with expensive remote access (2.1x) and large 40MiB
+// LLCs. 64 hardware threads.
+func SpecC() Spec {
+	return Spec{
+		Name:            "Machine C",
+		Topo:            topology.MachineC(),
+		CoresPerNode:    8,
+		ThreadsPerCore:  2,
+		FreqGHz:         2.1,
+		LLCBytesPerNode: 40 << 20,
+		L1BytesPerCore:  64 << 10,
+		LineSize:        64,
+		TLB4KEntries:    64 + 1536,
+		TLB2MEntries:    32 + 1536,
+		MemPerNodeBytes: 768 << 30,
+		MemClockMHz:     2400,
+		Params:          paramsFor(2.1, 2400, 8.0),
+	}
+}
+
+// paramsFor derives machine-specific cost parameters from the CPU
+// frequency, memory clock and interconnect bandwidth: DRAM latency in
+// cycles scales with the CPU:memory clock ratio, and contention
+// coefficients scale inversely with interconnect bandwidth.
+func paramsFor(freqGHz float64, memClockMHz int, linkGTs float64) Params {
+	p := DefaultParams()
+	// A 2.4GHz-class core over DDR-1600 sees roughly 200 cycles to DRAM;
+	// scale by clock ratio so Machine A's 800MHz memory hurts more.
+	p.DRAMCycles = 200 * (freqGHz * 1000 / 2.1) / float64(memClockMHz) * (1600.0 / 1000)
+	// Slower memory clocks queue sooner at the controller; the link factor
+	// is folded into the pressure normalization (machine.refreshContention)
+	// via the topology's GT/s rating.
+	_ = linkGTs
+	p.ControllerCoeff = 0.9 * 1600 / float64(memClockMHz)
+	// How many concurrent access streams a controller absorbs before
+	// queueing: DDR2-800 (Machine A) saturates on roughly one stream,
+	// DDR3-1600 on two, DDR4-2400 on three.
+	p.ControllerFree = float64(memClockMHz) / 800
+	if p.ControllerFree < 1 {
+		p.ControllerFree = 1
+	}
+	return p
+}
+
+// Specs returns the three paper machines in order.
+func Specs() []Spec { return []Spec{SpecA(), SpecB(), SpecC()} }

@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/vmm"
+)
+
+// Cross-cutting sweeps and edge cases for the machine simulator.
+
+func TestThreadScalingReducesWall(t *testing.T) {
+	// The same total work split over more threads must shrink the
+	// makespan (up to full subscription).
+	wall := func(threads int) float64 {
+		m := NewC()
+		cfg := testConfig(threads)
+		m.Configure(cfg)
+		var base uint64
+		m.Run(1, func(th *Thread) {
+			base = t2Alloc(th, 16<<20)
+		})
+		return m.Run(threads, func(th *Thread) {
+			n := uint64(16 << 20)
+			lo := n * uint64(th.ID()) / uint64(threads)
+			hi := n * uint64(th.ID()+1) / uint64(threads)
+			for off := lo &^ 63; off < hi; off += 64 {
+				th.Read(base+off, 8)
+			}
+		}).WallCycles
+	}
+	w1, w8, w64 := wall(1), wall(8), wall(64)
+	if !(w64 < w8 && w8 < w1) {
+		t.Errorf("scaling broken: 1T=%v 8T=%v 64T=%v", w1, w8, w64)
+	}
+	// Sublinear (contention and remote shares grow with threads) but
+	// still substantial.
+	if w1/w8 < 2.2 {
+		t.Errorf("8 threads should cut the 1-thread wall substantially: %v vs %v", w1, w8)
+	}
+}
+
+func t2Alloc(th *Thread, bytes uint64) uint64 {
+	base := th.Malloc(bytes)
+	for off := uint64(0); off < bytes; off += 4096 {
+		th.Write(base+off, 8)
+	}
+	return base
+}
+
+func TestRemoteLatencyVisible(t *testing.T) {
+	// Machine C's 2.1x remote latency: a thread scanning memory on its
+	// own node must beat one scanning another node's memory.
+	scan := func(owner int) float64 {
+		m := NewC()
+		cfg := testConfig(2)
+		m.Configure(cfg)
+		var base uint64
+		m.Run(2, func(th *Thread) {
+			if th.ID() == owner {
+				base = t2Alloc(th, 8<<20)
+			}
+		})
+		res := m.Run(2, func(th *Thread) {
+			if th.ID() != 0 {
+				return
+			}
+			for pass := 0; pass < 2; pass++ {
+				for off := uint64(0); off < 8<<20; off += 64 {
+					th.Read(base+off, 8)
+				}
+			}
+		})
+		return res.WallCycles
+	}
+	local := scan(0)  // thread 0 reads its own allocation
+	remote := scan(1) // thread 0 reads thread 1's allocation
+	if remote < local*1.3 {
+		t.Errorf("remote scan (%v) should clearly exceed local (%v) on Machine C", remote, local)
+	}
+}
+
+func TestMachineAHopGradient(t *testing.T) {
+	// On the twisted ladder, reading from a 3-hop node costs more than
+	// from a 1-hop node.
+	topo := SpecA().Topo
+	oneHop, threeHop := -1, -1
+	for n := 1; n < 8; n++ {
+		switch topo.Hops(0, topology.NodeID(n)) {
+		case 1:
+			if oneHop < 0 {
+				oneHop = n
+			}
+		case 3:
+			if threeHop < 0 {
+				threeHop = n
+			}
+		}
+	}
+	if oneHop < 0 || threeHop < 0 {
+		t.Fatal("expected both 1-hop and 3-hop nodes")
+	}
+	scanFrom := func(node int) float64 {
+		m := NewA()
+		cfg := testConfig(16)
+		cfg.Policy = vmm.Preferred
+		cfg.PreferredNode = topology.NodeID(node)
+		m.Configure(cfg)
+		var base uint64
+		m.Run(1, func(th *Thread) { base = t2Alloc(th, 4<<20) })
+		res := m.Run(1, func(th *Thread) { // runs on node 0
+			for off := uint64(0); off < 4<<20; off += 64 {
+				th.Read(base+off, 8)
+			}
+		})
+		return res.WallCycles
+	}
+	near, far := scanFrom(oneHop), scanFrom(threeHop)
+	if far <= near {
+		t.Errorf("3-hop scan (%v) should exceed 1-hop scan (%v)", far, near)
+	}
+}
+
+func TestZeroSizeAccessIsFree(t *testing.T) {
+	m := NewB()
+	m.Configure(testConfig(1))
+	res := m.Run(1, func(th *Thread) {
+		base := th.Malloc(4096)
+		before := th.Cycles()
+		th.Read(base, 0)
+		th.Write(base, 0)
+		if th.Cycles() != before {
+			t.Error("zero-size access charged cycles")
+		}
+	})
+	_ = res
+}
+
+func TestCountersResetBetweenPhases(t *testing.T) {
+	m := NewB()
+	m.Configure(testConfig(2))
+	m.Run(2, scanBody(1<<20, 1))
+	if m.Counters().CacheAccesses == 0 {
+		t.Fatal("phase 1 recorded nothing")
+	}
+	m.ResetCounters()
+	c := m.Counters()
+	if c.CacheAccesses != 0 || c.MinorFaults != 0 || c.ThreadMigrations != 0 {
+		t.Errorf("counters survived reset: %+v", c)
+	}
+}
+
+func TestCoherenceTransferCharged(t *testing.T) {
+	// A line written by a thread on one node costs extra when first read
+	// from another node (dirty cache-to-cache transfer).
+	m := NewB()
+	m.Configure(testConfig(2))
+	var base uint64
+	m.Run(2, func(th *Thread) {
+		if th.ID() == 0 {
+			base = th.Malloc(4096)
+			th.Write(base, 64)
+		}
+	})
+	var withTransfer, without float64
+	m.Run(2, func(th *Thread) {
+		if th.ID() != 1 {
+			return
+		}
+		c0 := th.Cycles()
+		th.Read(base, 8) // dirty on node 0: transfer
+		withTransfer = th.Cycles() - c0
+		c1 := th.Cycles()
+		th.Read(base+2048, 8) // clean line, same page
+		without = th.Cycles() - c1
+	})
+	if withTransfer <= without {
+		t.Errorf("dirty-line read (%v) should cost more than clean (%v)", withTransfer, without)
+	}
+}

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/topology"
+	"repro/internal/vmm"
+	"repro/internal/xrand"
+)
+
+// Thread is a simulated worker thread. Workload bodies use it for every
+// interaction with the machine: memory access, allocation, and pure-CPU
+// work. Threads are cooperative — the scheduler runs exactly one at a time,
+// so a body needs no synchronization of Go state, but the virtual-time
+// interleaving is faithful to the quantum granularity.
+type Thread struct {
+	m  *Machine
+	id int
+	hw int // hardware context index
+
+	l1  *cache.Cache
+	tlb *cache.TLB
+	rng *xrand.Rand
+
+	cycles     float64 // virtual time consumed (work + stalls)
+	wall       float64 // wall time, inflated by context oversubscription
+	sliceBase  float64 // cycles at the start of the current quantum
+	lastVPN    uint64  // most recent DRAM access page, for NUMA sampling
+	migrations uint64
+
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+}
+
+// ID returns the thread's index in [0, Threads).
+func (t *Thread) ID() int { return t.id }
+
+// Node returns the NUMA node the thread currently runs on.
+func (t *Thread) Node() topology.NodeID { return t.m.nodeOf(t.hw) }
+
+// RNG returns the thread's private deterministic random stream.
+func (t *Thread) RNG() *xrand.Rand { return t.rng }
+
+// Cycles returns the thread's consumed virtual time.
+func (t *Thread) Cycles() float64 { return t.cycles }
+
+// stall charges time to a parked thread (kernel daemon activity, thread
+// migration). Parked threads are outside any quantum, so the cost must be
+// applied to wall time directly as well as to the cycle account.
+func (t *Thread) stall(cycles float64) {
+	t.cycles += cycles
+	t.wall += cycles
+}
+
+// Charge accounts pure CPU work (hashing, comparisons, arithmetic) that
+// touches no simulated memory.
+func (t *Thread) Charge(cycles float64) {
+	t.cycles += cycles
+	t.maybeYield()
+}
+
+// Read simulates a load of size bytes at addr, walking TLB, L1, LLC and
+// DRAM and charging the appropriate cycles.
+func (t *Thread) Read(addr, size uint64) { t.access(addr, size, false) }
+
+// Write simulates a store: the same walk as a load (write-allocate
+// caches) plus ownership tracking in the machine's last-writer directory,
+// so a later toucher on another node pays the cache-to-cache transfer.
+func (t *Thread) Write(addr, size uint64) { t.access(addr, size, true) }
+
+// Malloc allocates size bytes through the machine's configured allocator,
+// charging the allocation cost to the thread.
+func (t *Thread) Malloc(size uint64) uint64 {
+	t.m.current = t
+	addr, cost := t.m.Alloc.Malloc(t, size)
+	t.m.current = nil
+	t.cycles += cost
+	t.maybeYield()
+	return addr
+}
+
+// Free releases an allocation (sized free), charging its cost.
+func (t *Thread) Free(addr, size uint64) {
+	t.m.current = t
+	cost := t.m.Alloc.Free(t, addr, size)
+	t.m.current = nil
+	t.cycles += cost
+	t.maybeYield()
+}
+
+// access charges one simulated memory access, line by line.
+func (t *Thread) access(addr, size uint64, write bool) {
+	if size == 0 {
+		return
+	}
+	m := t.m
+	line := uint64(m.Spec.LineSize)
+	last := (addr + size - 1) &^ (line - 1)
+	for a := addr &^ (line - 1); ; a += line {
+		t.accessLine(a, write)
+		if a == last {
+			break
+		}
+	}
+	t.maybeYield()
+}
+
+func (t *Thread) accessLine(a uint64, write bool) {
+	m := t.m
+	p := &m.P
+	node := m.nodeOf(t.hw)
+	cost := 0.0
+
+	f := m.Mem.Fault(a, node)
+	if f.Kind == vmm.MinorFault {
+		cost += p.MinorFaultCycles
+		if f.HugeMapped {
+			// THP fault: one fault maps 2MiB, but zeroing it costs extra.
+			cost += p.THPFaultCycles
+		}
+	}
+	vpn := a >> vmm.PageShift
+	if !t.tlb.Access(vpn, f.Huge) {
+		m.counters.TLBMisses++
+		if f.Huge {
+			cost += p.WalkHugeCycles
+		} else {
+			cost += p.WalkCycles
+		}
+	}
+	lineTag := a / uint64(m.Spec.LineSize)
+	if t.l1.Access(lineTag) {
+		// L1 hit: the line is already owned or shared by this core.
+		if write {
+			m.noteWriter(lineTag, node)
+		}
+		t.cycles += cost + p.L1HitCycles
+		return
+	}
+	// Past L1, a line dirty in another node's cache costs a transfer.
+	cost += m.coherencePenalty(lineTag, node, write)
+	llc := m.llc[node]
+	m.counters.CacheAccesses++
+	if llc.Access(lineTag) {
+		t.cycles += cost + p.LLCHitCycles
+		return
+	}
+	m.counters.CacheMisses++
+	home := f.Node
+	dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
+	if home != node {
+		dram *= m.linkMult
+		m.counters.RemoteAccesses++
+	} else {
+		m.counters.LocalAccesses++
+	}
+	t.lastVPN = vpn
+	m.noteDRAM(home, t)
+	t.cycles += cost + dram
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/hashtable"
+	"repro/internal/machine"
+)
+
+// recordBytes is the in-memory width of one (key, value) tuple.
+const recordBytes = 16
+
+// Outcome reports a workload execution: the simulator's measurement of the
+// timed phases plus a checksum for correctness validation.
+type Outcome struct {
+	Result      machine.Result
+	SetupCycles float64
+	Groups      int
+	Matches     uint64 // join workloads: result tuples
+	Checksum    uint64
+}
+
+// LoadRecords writes recs into a fresh simulated array, single-threaded
+// (the paper's datasets are generated before the measured run; under First
+// Touch this places them on the loader's node, which is the central
+// mechanism behind the placement-policy results). It returns the base
+// address and the setup cycles.
+func LoadRecords(m *machine.Machine, recs []datagen.Record) (base uint64, cycles float64) {
+	res := m.Run(1, func(t *machine.Thread) {
+		base = t.Malloc(uint64(len(recs)) * recordBytes)
+		for i := range recs {
+			t.Write(base+uint64(i)*recordBytes, recordBytes)
+		}
+	})
+	return base, res.WallCycles
+}
+
+// AggregationSpec describes an aggregation run (W1/W2).
+type AggregationSpec struct {
+	Records     []datagen.Record
+	Cardinality int
+	// Holistic selects W1 (MEDIAN over buffered values); false is W2
+	// (COUNT, a running counter per group).
+	Holistic bool
+}
+
+// tupleBytes is the size of one buffered tuple node in a group's chain
+// (value + next pointer), individually heap-allocated as in the paper's
+// holistic aggregation implementation.
+const tupleBytes = 16
+
+// group is the per-group aggregate state.
+type group struct {
+	creator   int    // thread that created the group (median-pass owner)
+	countAddr uint64 // W2: 8-byte counter in simulated memory
+	count     uint64
+	// W1: each input tuple is buffered in its own allocation; the median
+	// pass walks, reads and frees them. This is what makes W1 the paper's
+	// allocation-heavy aggregation.
+	tupleAddrs []uint64
+	vals       []uint64
+}
+
+// Aggregate executes the hashtable-based aggregation workload and returns
+// the timed result (build plus, for W1, the per-group median pass).
+func Aggregate(m *machine.Machine, spec AggregationSpec) Outcome {
+	dataAddr, setup := LoadRecords(m, spec.Records)
+	m.ResetCounters()
+
+	threads := m.Config().Threads
+	var table *hashtable.Table
+	groups := make([]*group, 0, spec.Cardinality)
+
+	// The shared table is created by the first worker, as in the paper's
+	// codelets; sizing at twice the cardinality keeps chains short.
+	res := m.Run(threads, func(t *machine.Thread) {
+		if t.ID() == 0 {
+			table = hashtable.New(t, spec.Cardinality*2)
+		}
+	})
+	buildAndFinalize := m.Run(threads, func(t *machine.Thread) {
+		n := len(spec.Records)
+		lo := n * t.ID() / threads
+		hi := n * (t.ID() + 1) / threads
+		for i := lo; i < hi; i++ {
+			rec := spec.Records[i]
+			t.Read(dataAddr+uint64(i)*recordBytes, recordBytes)
+			gi, _ := table.GetOrPut(t, rec.Key, func() uint32 {
+				g := &group{creator: t.ID()}
+				if !spec.Holistic {
+					g.countAddr = t.Malloc(8)
+				}
+				groups = append(groups, g)
+				return uint32(len(groups) - 1)
+			})
+			g := groups[gi]
+			t.Charge(25) // per-group latch
+			if spec.Holistic {
+				// Buffer the tuple for the median: one allocation per
+				// input record.
+				addr := t.Malloc(tupleBytes)
+				g.tupleAddrs = append(g.tupleAddrs, addr)
+				g.vals = append(g.vals, rec.Val)
+				t.Write(addr, tupleBytes)
+			} else {
+				t.Read(g.countAddr, 8)
+				t.Write(g.countAddr, 8)
+				g.count++
+			}
+		}
+		if spec.Holistic {
+			// Second pass: medians, each thread finalizing the groups it
+			// created. Under the moving-cluster input a group's tuples
+			// were almost all buffered by their creator, so the pass is
+			// local under First Touch — the paper's high measured LAR.
+			for gi := range groups {
+				g := groups[gi]
+				if g.creator != t.ID() {
+					continue
+				}
+				if len(g.tupleAddrs) == 0 {
+					continue
+				}
+				for _, addr := range g.tupleAddrs {
+					t.Read(addr, tupleBytes)
+				}
+				n := float64(len(g.tupleAddrs))
+				t.Charge(12 * n * math.Log2(n+1)) // in-place sort
+				for _, addr := range g.tupleAddrs {
+					t.Free(addr, tupleBytes)
+				}
+			}
+		}
+	})
+
+	out := Outcome{
+		Result:      combine(res, buildAndFinalize),
+		SetupCycles: setup,
+		// table.Len counts distinct keys; the groups slice can hold
+		// orphans from lost upsert races.
+		Groups: table.Len(),
+	}
+	for _, g := range groups {
+		if spec.Holistic {
+			out.Checksum += medianOf(g.vals)
+		} else {
+			out.Checksum += g.count
+		}
+	}
+	return out
+}
+
+// combine merges two phases of one measurement: wall times add (the phases
+// are sequential), counters were accumulated machine-wide already.
+func combine(a, b machine.Result) machine.Result {
+	b.WallCycles += a.WallCycles
+	return b
+}
+
+// medianOf returns the median (lower middle) of vals, used for checksums.
+func medianOf(vals []uint64) uint64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := make([]uint64, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// ReferenceAggregate computes the same aggregate in plain Go, for tests.
+func ReferenceAggregate(spec AggregationSpec) (groups int, checksum uint64) {
+	byKey := map[uint64][]uint64{}
+	for _, r := range spec.Records {
+		byKey[r.Key] = append(byKey[r.Key], r.Val)
+	}
+	for _, vals := range byKey {
+		if spec.Holistic {
+			checksum += medianOf(vals)
+		} else {
+			checksum += uint64(len(vals))
+		}
+	}
+	return len(byKey), checksum
+}

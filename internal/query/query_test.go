@@ -1,0 +1,147 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+func testMachine(threads int) *machine.Machine {
+	m := machine.NewB()
+	m.Configure(machine.RunConfig{
+		Threads:   threads,
+		Placement: machine.PlaceSparse,
+		Policy:    vmm.Interleave,
+		Allocator: "tbbmalloc",
+		Seed:      3,
+	})
+	return m
+}
+
+func TestHolisticAggregationCorrect(t *testing.T) {
+	spec := AggregationSpec{
+		Records:     datagen.MovingCluster(20000, 500, 1),
+		Cardinality: 500,
+		Holistic:    true,
+	}
+	out := Aggregate(testMachine(8), spec)
+	wantGroups, wantSum := ReferenceAggregate(spec)
+	if out.Groups != wantGroups {
+		t.Errorf("groups = %d, want %d", out.Groups, wantGroups)
+	}
+	if out.Checksum != wantSum {
+		t.Errorf("median checksum = %d, want %d", out.Checksum, wantSum)
+	}
+	if out.Result.WallCycles <= 0 {
+		t.Error("no time charged")
+	}
+}
+
+func TestDistributiveAggregationCorrect(t *testing.T) {
+	spec := AggregationSpec{
+		Records:     datagen.Zipfian(20000, 500, 0.5, 2),
+		Cardinality: 500,
+		Holistic:    false,
+	}
+	out := Aggregate(testMachine(8), spec)
+	wantGroups, wantSum := ReferenceAggregate(spec)
+	if out.Groups != wantGroups || out.Checksum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", out.Groups, out.Checksum, wantGroups, wantSum)
+	}
+	// W2's checksum is the record count: every record lands somewhere.
+	if out.Checksum != 20000 {
+		t.Errorf("count checksum = %d, want 20000", out.Checksum)
+	}
+}
+
+func TestAggregationThreadCountInvariance(t *testing.T) {
+	spec := AggregationSpec{
+		Records:     datagen.Sequential(10000, 200),
+		Cardinality: 200,
+		Holistic:    true,
+	}
+	a := Aggregate(testMachine(2), spec)
+	b := Aggregate(testMachine(16), spec)
+	if a.Checksum != b.Checksum || a.Groups != b.Groups {
+		t.Errorf("results must not depend on thread count: (%d,%d) vs (%d,%d)",
+			a.Groups, a.Checksum, b.Groups, b.Checksum)
+	}
+}
+
+func TestW1IsAllocationHeavierThanW2(t *testing.T) {
+	recs := datagen.MovingCluster(20000, 500, 1)
+	m1 := testMachine(8)
+	Aggregate(m1, AggregationSpec{Records: recs, Cardinality: 500, Holistic: true})
+	w1Allocs := m1.Alloc.Stats().Mallocs
+	m2 := testMachine(8)
+	Aggregate(m2, AggregationSpec{Records: recs, Cardinality: 500, Holistic: false})
+	w2Allocs := m2.Alloc.Stats().Mallocs
+	if w1Allocs < w2Allocs*2 {
+		t.Errorf("W1 should allocate much more than W2: %d vs %d", w1Allocs, w2Allocs)
+	}
+}
+
+func TestHashJoinCorrect(t *testing.T) {
+	tables := datagen.Join(2000, 16, 4)
+	out := HashJoin(testMachine(8), JoinSpec{Tables: tables})
+	wantMatches, wantSum := ReferenceJoin(tables)
+	if out.Matches != wantMatches {
+		t.Errorf("matches = %d, want %d", out.Matches, wantMatches)
+	}
+	if out.Checksum != wantSum {
+		t.Errorf("checksum = %d, want %d", out.Checksum, wantSum)
+	}
+	if wantMatches != uint64(len(tables.S)) {
+		t.Fatalf("reference sanity: every S tuple matches, got %d of %d", wantMatches, len(tables.S))
+	}
+	if out.BuildCycles <= 0 || out.ProbeCycles <= 0 {
+		t.Error("phase cycles must be positive")
+	}
+}
+
+func TestJoinProbeDominates(t *testing.T) {
+	// With |S| = 16|R| the probe phase should take most of the time.
+	tables := datagen.Join(1000, 16, 9)
+	out := HashJoin(testMachine(8), JoinSpec{Tables: tables})
+	if out.ProbeCycles <= out.BuildCycles {
+		t.Errorf("probe (%v) should dominate build (%v)", out.ProbeCycles, out.BuildCycles)
+	}
+}
+
+func TestAllocatorAffectsW1Runtime(t *testing.T) {
+	// The headline Figure 6 mechanism: on an allocation-heavy workload at
+	// full thread count, tbbmalloc should beat ptmalloc.
+	recs := datagen.MovingCluster(30000, 1000, 1)
+	run := func(allocName string) float64 {
+		m := machine.NewB()
+		m.Configure(machine.RunConfig{
+			Threads: 32, Placement: machine.PlaceSparse,
+			Policy: vmm.Interleave, Allocator: allocName, Seed: 3,
+		})
+		return Aggregate(m, AggregationSpec{Records: recs, Cardinality: 1000, Holistic: true}).Result.WallCycles
+	}
+	pt := run("ptmalloc")
+	tbb := run("tbbmalloc")
+	if tbb >= pt {
+		t.Errorf("tbbmalloc (%v) should beat ptmalloc (%v) on W1 at 32 threads", tbb, pt)
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	cases := []struct {
+		in   []uint64
+		want uint64
+	}{
+		{nil, 0},
+		{[]uint64{5}, 5},
+		{[]uint64{3, 1, 2}, 2},
+		{[]uint64{4, 1, 3, 2}, 2}, // lower middle of even count
+	}
+	for _, c := range cases {
+		if got := medianOf(c.in); got != c.want {
+			t.Errorf("medianOf(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	t.AddRow("alpha", 1)
+	t.AddRow("beta", 2.5)
+	t.AddRow("gamma, delta", "x\"y")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var sb strings.Builder
+	sample().Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line starts at the same offset.
+	if !strings.HasPrefix(lines[1], "  name") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	sample().RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"gamma, delta"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"x""y"`) {
+		t.Errorf("quote not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("b")
+	var sb strings.Builder
+	tab.Render(&sb)
+	if strings.Contains(sb.String(), "==") {
+		t.Error("untitled table should not render a title bar")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.125); got != "+12.5%" {
+		t.Errorf("Pct(0.125) = %q", got)
+	}
+	if got := Pct(-0.04); got != "-4.0%" {
+		t.Errorf("Pct(-0.04) = %q", got)
+	}
+}
+
+func TestBillions(t *testing.T) {
+	if got := Billions(2.5e9); got != "2.500" {
+		t.Errorf("Billions = %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package topology
+
+// Presets for the three machines evaluated in the paper (Figure 1 and
+// Table II). The topology layer captures the node graph, relative latency
+// table and interconnect bandwidth; core counts, cache and TLB geometry
+// live with the machine simulator.
+
+// MachineA returns the 8-node AMD Opteron "twisted ladder" topology.
+//
+// Each node has three HyperTransport links and the machine exhibits three
+// distinct remote latencies (1, 2 and 3 hops at 1.2x, 1.4x and 1.6x local).
+// We realize the twisted ladder as the 3-regular, diameter-3 hypercube
+// wiring, which matches the paper's link count per node and its hop/latency
+// structure exactly.
+func MachineA() *Topology {
+	var links [][2]int
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			x := a ^ b
+			if x&(x-1) == 0 { // differ in exactly one bit
+				links = append(links, [2]int{a, b})
+			}
+		}
+	}
+	return MustNew(Config{
+		Name:             "Machine A",
+		Nodes:            8,
+		Links:            links,
+		HopLatency:       []float64{1.0, 1.2, 1.4, 1.6},
+		LinkBandwidthGTs: 2.0,
+	})
+}
+
+// MachineB returns the 4-node fully connected Intel Xeon E7520 topology,
+// whose remote accesses are only 1.1x local latency.
+func MachineB() *Topology {
+	return MustNew(Config{
+		Name:             "Machine B",
+		Nodes:            4,
+		Links:            fullMesh(4),
+		HopLatency:       []float64{1.0, 1.1},
+		LinkBandwidthGTs: 4.8,
+	})
+}
+
+// MachineC returns the 4-node fully connected Intel Xeon E7-4850 v4
+// topology, whose remote accesses cost 2.1x local latency.
+func MachineC() *Topology {
+	return MustNew(Config{
+		Name:             "Machine C",
+		Nodes:            4,
+		Links:            fullMesh(4),
+		HopLatency:       []float64{1.0, 2.1},
+		LinkBandwidthGTs: 8.0,
+	})
+}
+
+func fullMesh(n int) [][2]int {
+	var links [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			links = append(links, [2]int{a, b})
+		}
+	}
+	return links
+}

@@ -1,0 +1,51 @@
+package tpch
+
+import "repro/internal/machine"
+
+// Harness runs the W5 workload the way the paper measures it: the engine's
+// data is loaded once, the first (cold) execution of each query is
+// discarded, and the reported latency is the mean of the following warm
+// runs.
+type Harness struct {
+	Engine *Engine
+	// WarmRuns is how many measured executions follow the discarded cold
+	// run (the paper uses five).
+	WarmRuns int
+}
+
+// NewHarness builds a machine from spec, configures it, generates (or
+// reuses) a database and loads it into a fresh engine.
+func NewHarness(spec machine.Spec, prof Profile, cfg machine.RunConfig, db *DB, warmRuns int) *Harness {
+	m := machine.New(spec)
+	m.Configure(cfg)
+	if warmRuns < 1 {
+		warmRuns = 1
+	}
+	return &Harness{Engine: NewEngine(prof, m, db), WarmRuns: warmRuns}
+}
+
+// Measure runs query q cold once plus WarmRuns warm executions and returns
+// the mean warm wall cycles together with the (validated-identical) result.
+func (h *Harness) Measure(q int) (meanWall float64, res QueryResult) {
+	res = h.Engine.RunQuery(q) // cold
+	var sum float64
+	for i := 0; i < h.WarmRuns; i++ {
+		r := h.Engine.RunQuery(q)
+		if r.Check != res.Check {
+			panic("tpch: query result changed between runs")
+		}
+		sum += r.Wall
+	}
+	return sum / float64(h.WarmRuns), res
+}
+
+// MeasureAll measures every query and returns mean warm wall cycles
+// indexed by query number minus one.
+func (h *Harness) MeasureAll() ([]float64, []QueryResult) {
+	walls := make([]float64, NumQueries)
+	results := make([]QueryResult, NumQueries)
+	for q := 1; q <= NumQueries; q++ {
+		walls[q-1], results[q-1] = h.Measure(q)
+	}
+	return walls, results
+}

@@ -1,0 +1,313 @@
+package tpch
+
+import (
+	"repro/internal/machine"
+)
+
+// Profile captures the architectural axes on which the five evaluated
+// database systems differ. These are the properties that modulate how much
+// the paper's application-agnostic tuning helps each engine in Figure 8.
+type Profile struct {
+	Name string
+	// Columnar engines read only the referenced columns; row stores drag
+	// the whole tuple through the cache hierarchy.
+	Columnar bool
+	// Workers returns the intra-query parallelism given the machine's
+	// hardware threads. MySQL executes a query on one thread; PostgreSQL
+	// caps its background workers; the in-memory engines use everything.
+	Workers func(hwThreads int) int
+	// TupleCycles is the per-tuple interpretation overhead (vectorized
+	// engines amortize it; classic Volcano iterators pay per row).
+	TupleCycles float64
+	// AllocEvery issues one small bookkeeping allocation per N scanned
+	// tuples (expression state, tuple copies); lower = more
+	// allocator-sensitive. Zero disables.
+	AllocEvery int
+	// Materializes marks operator-at-a-time engines (MonetDB) that write
+	// full intermediate results between operators.
+	Materializes bool
+}
+
+// Profiles returns the five evaluated systems in the paper's order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:     "MonetDB",
+			Columnar: true,
+			Workers:  func(hw int) int { return hw },
+			// BAT-at-a-time execution: tiny per-tuple cost, but full
+			// materialization between operators and lots of intermediate
+			// buffer churn.
+			TupleCycles:  6,
+			AllocEvery:   6,
+			Materializes: true,
+		},
+		{
+			Name:     "PostgreSQL",
+			Columnar: false,
+			// Rigid parallel-worker planning: a few background workers at
+			// best, and some plans run on the leader alone (the paper
+			// blames exactly this for PostgreSQL's inconsistent gains).
+			Workers:     func(hw int) int { return min(4, hw) },
+			TupleCycles: 34,
+			AllocEvery:  24,
+		},
+		{
+			Name:        "MySQL",
+			Columnar:    false,
+			Workers:     func(hw int) int { return 1 },
+			TupleCycles: 42,
+			AllocEvery:  32,
+		},
+		{
+			Name:        "DBMSx",
+			Columnar:    true, // hybrid row/column store with columnar scans
+			Workers:     func(hw int) int { return hw },
+			TupleCycles: 10,
+			AllocEvery:  16,
+		},
+		{
+			Name:        "Quickstep",
+			Columnar:    true,
+			Workers:     func(hw int) int { return hw },
+			TupleCycles: 8,
+			AllocEvery:  96, // block-managed storage, few small allocations
+		},
+	}
+}
+
+// ProfileByName returns the named profile, panicking on unknown names.
+func ProfileByName(name string) Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic("tpch: unknown engine " + name)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Column widths (bytes) for the scan cost model, by table and column.
+var columnWidths = map[string]map[string]uint64{
+	"lineitem": {
+		"orderkey": 4, "partkey": 4, "suppkey": 4, "linenumber": 1,
+		"quantity": 4, "extendedprice": 8, "discount": 1, "tax": 1,
+		"returnflag": 1, "linestatus": 1, "shipdate": 4, "commitdate": 4,
+		"receiptdate": 4, "shipinstruct": 1, "shipmode": 1,
+	},
+	"orders": {
+		"orderkey": 4, "custkey": 4, "orderstatus": 1, "totalprice": 8,
+		"orderdate": 4, "orderpriority": 1, "shippriority": 1, "comment": 8,
+	},
+	"customer": {
+		"custkey": 4, "nationkey": 4, "mktsegment": 1, "acctbal": 8, "phone": 8,
+	},
+	"part": {
+		"partkey": 4, "brand": 1, "type": 2, "size": 1, "container": 1,
+		"retailprice": 8, "name": 16,
+	},
+	"partsupp": {
+		"partkey": 4, "suppkey": 4, "availqty": 4, "supplycost": 8,
+	},
+	"supplier": {
+		"suppkey": 4, "nationkey": 4, "acctbal": 8, "comment": 8,
+	},
+}
+
+// tableMem is a table's simulated storage image.
+type tableMem struct {
+	rows     int
+	rowWidth uint64
+	rowBase  uint64            // row layout base (row stores)
+	colBase  map[string]uint64 // per-column bases (column stores)
+}
+
+// Engine executes TPC-H queries on a machine under a profile.
+type Engine struct {
+	Prof Profile
+	M    *machine.Machine
+	DB   *DB
+
+	tables     map[string]*tableMem
+	allocTick  []uint64 // per-thread bookkeeping allocation counters
+	ring       []chunk  // engine-wide intermediate buffers in flight
+	ringPos    int
+	loadCycles float64
+	wall       float64 // accumulated wall cycles of the running query
+}
+
+// chunk is one in-flight intermediate buffer.
+type chunk struct {
+	addr uint64
+	size uint64
+}
+
+// NewEngine loads db into m's simulated memory under the given profile.
+// Loading is single-threaded (a restore/import), so First Touch places the
+// database on the loader's node — the starting point of the paper's
+// placement story.
+func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
+	e := &Engine{Prof: prof, M: m, DB: db, tables: map[string]*tableMem{}}
+	counts := map[string]int{
+		"lineitem": len(db.Lineitems),
+		"orders":   len(db.Orders),
+		"customer": len(db.Customers),
+		"part":     len(db.Parts),
+		"partsupp": len(db.PartSupps),
+		"supplier": len(db.Suppliers),
+	}
+	res := m.Run(1, func(t *machine.Thread) {
+		for name, rows := range counts {
+			tm := &tableMem{rows: rows, colBase: map[string]uint64{}}
+			for col, w := range columnWidths[name] {
+				tm.rowWidth += w
+				if e.Prof.Columnar {
+					base := t.Malloc(uint64(rows) * w)
+					tm.colBase[col] = base
+					for i := 0; i < rows; i += int(4096 / w) {
+						t.Write(base+uint64(i)*w, w) // touch each page
+					}
+				}
+			}
+			if !e.Prof.Columnar {
+				tm.rowBase = t.Malloc(uint64(rows) * tm.rowWidth)
+				step := int(4096 / tm.rowWidth)
+				if step < 1 {
+					step = 1
+				}
+				for i := 0; i < rows; i += step {
+					t.Write(tm.rowBase+uint64(i)*tm.rowWidth, tm.rowWidth)
+				}
+			}
+			e.tables[name] = tm
+		}
+	})
+	e.loadCycles = res.WallCycles
+	e.allocTick = make([]uint64, 256)
+	e.ring = make([]chunk, 64)
+	return e
+}
+
+// Scan charges one row's worth of reads for the given columns, plus the
+// engine's per-tuple interpretation cost and occasional bookkeeping
+// allocations.
+func (e *Engine) Scan(t *machine.Thread, table string, cols []string, i int) {
+	tm := e.tables[table]
+	if e.Prof.Columnar {
+		widths := columnWidths[table]
+		for _, c := range cols {
+			w := widths[c]
+			t.Read(tm.colBase[c]+uint64(i)*w, w)
+		}
+	} else {
+		t.Read(tm.rowBase+uint64(i)*tm.rowWidth, tm.rowWidth)
+	}
+	t.Charge(e.Prof.TupleCycles)
+	e.maybeAlloc(t)
+}
+
+// maybeAlloc issues the engine's bookkeeping allocation churn.
+func (e *Engine) maybeAlloc(t *machine.Thread) {
+	if e.Prof.AllocEvery == 0 {
+		return
+	}
+	tick := &e.allocTick[t.ID()&255]
+	*tick++
+	if *tick%uint64(e.Prof.AllocEvery) == 0 {
+		// A vectorized intermediate buffer. Buffers flow between workers
+		// (exchange operators), so the thread freeing a buffer is rarely
+		// the one that allocated it — the cross-thread pattern that
+		// separates tbbmalloc from thread-cache designs at high
+		// parallelism.
+		size := uint64(512 << (*tick % 3)) // 512B / 1KiB / 2KiB
+		addr := t.Malloc(size)
+		t.Write(addr, size)
+		old := e.ring[e.ringPos]
+		e.ring[e.ringPos] = chunk{addr: addr, size: size}
+		e.ringPos = (e.ringPos + 1) % len(e.ring)
+		if old.size > 0 {
+			t.Free(old.addr, old.size)
+		}
+	}
+}
+
+// Emit charges intermediate materialization for operator-at-a-time
+// engines: the qualifying tuple is written to (and later re-read from) an
+// intermediate buffer.
+func (e *Engine) Emit(t *machine.Thread, buf *interBuf, width uint64) {
+	if !e.Prof.Materializes {
+		return
+	}
+	buf.push(t, width)
+}
+
+// interBuf models a materialized intermediate result: grows by doubling
+// through the allocator, is re-read once, and freed.
+type interBuf struct {
+	addr uint64
+	used uint64
+	cap  uint64
+}
+
+func (b *interBuf) push(t *machine.Thread, width uint64) {
+	if b.used+width > b.cap {
+		newCap := b.cap * 2
+		if newCap < 4096 {
+			newCap = 4096
+		}
+		na := t.Malloc(newCap)
+		if b.used > 0 {
+			t.Read(b.addr, b.used)
+			t.Write(na, b.used)
+			t.Free(b.addr, b.cap)
+		}
+		b.addr, b.cap = na, newCap
+	}
+	t.Write(b.addr+b.used, width)
+	b.used += width
+}
+
+// release re-reads the buffer (the downstream operator consuming it) and
+// frees it.
+func (b *interBuf) release(t *machine.Thread) {
+	if b.cap == 0 {
+		return
+	}
+	t.Read(b.addr, b.used)
+	t.Free(b.addr, b.cap)
+	b.addr, b.used, b.cap = 0, 0, 0
+}
+
+// Par runs fn over [0, n) split across the engine's workers, adds the
+// phase's wall time to the current query's total, and returns the run
+// result.
+func (e *Engine) Par(n int, fn func(t *machine.Thread, lo, hi int)) machine.Result {
+	w := e.Prof.Workers(e.M.Config().Threads)
+	if w < 1 {
+		w = 1
+	}
+	res := e.M.Run(w, func(t *machine.Thread) {
+		lo := n * t.ID() / w
+		hi := n * (t.ID() + 1) / w
+		fn(t, lo, hi)
+	})
+	e.wall += res.WallCycles
+	return res
+}
+
+// Serial runs fn on one thread (plan steps with no parallelism), counting
+// its wall time toward the current query.
+func (e *Engine) Serial(fn func(t *machine.Thread)) machine.Result {
+	res := e.M.Run(1, fn)
+	e.wall += res.WallCycles
+	return res
+}
+
+// LoadCycles returns the (untimed) load-phase cost, for diagnostics.
+func (e *Engine) LoadCycles() float64 { return e.loadCycles }

@@ -1,0 +1,159 @@
+package tpch
+
+import "repro/internal/xrand"
+
+// Base cardinalities at scale factor 1, per the TPC-H specification.
+const (
+	suppliersPerSF = 10_000
+	customersPerSF = 150_000
+	partsPerSF     = 200_000
+	ordersPerSF    = 1_500_000
+	suppsPerPart   = 4
+)
+
+// Generate builds a TPC-H database at the given scale factor,
+// deterministically in the seed. Cardinality ratios, key relationships,
+// value domains and the selectivities behind every query predicate follow
+// the spec; free-text columns are represented by the flags and enums the
+// queries actually test.
+func Generate(sf float64, seed uint64) *DB {
+	r := xrand.New(seed)
+	db := &DB{SF: sf}
+
+	db.Regions = make([]Region, len(RegionNames))
+	for i := range db.Regions {
+		db.Regions[i] = Region{RegionKey: int32(i)}
+	}
+	db.Nations = make([]Nation, len(NationNames))
+	for i := range db.Nations {
+		db.Nations[i] = Nation{NationKey: int32(i), RegionKey: int32(NationRegion[i])}
+	}
+
+	nSupp := scaled(suppliersPerSF, sf)
+	db.Suppliers = make([]Supplier, nSupp)
+	for i := range db.Suppliers {
+		db.Suppliers[i] = Supplier{
+			SuppKey:   int32(i),
+			NationKey: int32(r.Intn(len(NationNames))),
+			AcctBal:   int64(r.Intn(1_100_000)) - 100_000, // -999.99 .. 9999.99
+			// s_comment LIKE '%Customer%Complaints%': ~5 per 10k suppliers.
+			ComplaintFlag: r.Bernoulli(0.0005),
+		}
+	}
+
+	nCust := scaled(customersPerSF, sf)
+	db.Customers = make([]Customer, nCust)
+	for i := range db.Customers {
+		db.Customers[i] = Customer{
+			CustKey:    int32(i),
+			NationKey:  int32(r.Intn(len(NationNames))),
+			MktSegment: int8(r.Intn(len(Segments))),
+			AcctBal:    int64(r.Intn(1_100_000)) - 100_000,
+		}
+	}
+
+	nPart := scaled(partsPerSF, sf)
+	db.Parts = make([]Part, nPart)
+	for i := range db.Parts {
+		p := Part{
+			PartKey:     int32(i),
+			Brand:       int8(r.Intn(NumBrands)),
+			TypeID:      int16(r.Intn(NumTypes)),
+			Size:        int8(1 + r.Intn(50)),
+			Container:   int8(r.Intn(NumContainers)),
+			RetailPrice: int64(90_000 + r.Intn(120_000)),
+		}
+		for c := range p.Colors {
+			p.Colors[c] = int8(r.Intn(NumColors))
+		}
+		db.Parts[i] = p
+	}
+
+	db.PartSupps = make([]PartSupp, 0, nPart*suppsPerPart)
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < suppsPerPart; j++ {
+			db.PartSupps = append(db.PartSupps, PartSupp{
+				PartKey:    int32(i),
+				SuppKey:    int32((i + j*(nSupp/suppsPerPart+1)) % nSupp),
+				AvailQty:   int32(1 + r.Intn(9999)),
+				SupplyCost: int64(100 + r.Intn(99_900)),
+			})
+		}
+	}
+
+	nOrders := scaled(ordersPerSF, sf)
+	db.Orders = make([]Order, nOrders)
+	db.OrderLineStart = make([]int32, nOrders)
+	db.Lineitems = make([]Lineitem, 0, nOrders*4)
+	for i := range db.Orders {
+		orderDate := int32(r.Intn(EndDate - 151)) // room for ship/receipt
+		o := Order{
+			OrderKey:      int32(i),
+			CustKey:       int32(r.Intn(nCust)),
+			OrderDate:     orderDate,
+			OrderPriority: int8(r.Intn(len(Priorities))),
+			ShipPriority:  0,
+			SpecialFlag:   r.Bernoulli(0.01), // '%special%requests%'
+		}
+		db.OrderLineStart[i] = int32(len(db.Lineitems))
+		lines := 1 + r.Intn(7)
+		var total int64
+		allF := true
+		for ln := 0; ln < lines; ln++ {
+			qty := int32(1 + r.Intn(50))
+			price := int64(90_000+r.Intn(120_000)) * int64(qty) / 10
+			ship := orderDate + int32(1+r.Intn(121))
+			l := Lineitem{
+				OrderKey:      o.OrderKey,
+				PartKey:       int32(r.Intn(nPart)),
+				SuppKey:       int32(r.Intn(nSupp)),
+				LineNumber:    int8(ln),
+				Quantity:      qty,
+				ExtendedPrice: price,
+				Discount:      int8(r.Intn(11)), // 0.00 .. 0.10
+				Tax:           int8(r.Intn(9)),  // 0.00 .. 0.08
+				ShipDate:      ship,
+				CommitDate:    orderDate + int32(30+r.Intn(61)),
+				ReceiptDate:   ship + int32(1+r.Intn(30)),
+				ShipInstruct:  int8(r.Intn(len(ShipInstructs))),
+				ShipMode:      int8(r.Intn(len(ShipModes))),
+			}
+			// Return flag/status per spec: shipped long ago -> returned or
+			// not (A/R), recent -> none (N); status F if shipped before
+			// 1995-06-17.
+			if int(l.ReceiptDate) <= MkDate(1995, 6, 17) {
+				if r.Bernoulli(0.5) {
+					l.ReturnFlag = 0 // A
+				} else {
+					l.ReturnFlag = 2 // R
+				}
+			} else {
+				l.ReturnFlag = 1 // N
+			}
+			if int(l.ShipDate) <= MkDate(1995, 6, 17) {
+				l.LineStatus = 0 // F
+			} else {
+				l.LineStatus = 1 // O
+				allF = false
+			}
+			total += l.ExtendedPrice * int64(100-l.Discount) * int64(100+l.Tax) / 10_000
+			db.Lineitems = append(db.Lineitems, l)
+		}
+		o.TotalPrice = total
+		if allF {
+			o.OrderStatus = 0
+		} else {
+			o.OrderStatus = 1
+		}
+		db.Orders[i] = o
+	}
+	return db
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package vmm
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Failure-injection tests: the vmm's behaviour at and beyond capacity.
+
+func TestCapacityFallbackPrefersNearNodes(t *testing.T) {
+	m := New(topology.MachineA(), 4*PageSize) // 4 pages per node
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(16*PageSize, 0)
+	// Node 0 fills after 4 faults; the fallback must then pick 1-hop
+	// neighbours before farther nodes (on the Machine A hypercube, node
+	// 0's neighbours are 1, 2 and 4).
+	for i := uint64(0); i < 8; i++ {
+		f := m.Fault(r.Base+i*PageSize, 0)
+		if i < 4 {
+			if f.Node != 0 {
+				t.Fatalf("page %d on node %d, want 0", i, f.Node)
+			}
+			continue
+		}
+		if topology.MachineA().Hops(0, f.Node) != 1 {
+			t.Fatalf("overflow page %d on node %d (hops %d), want a 1-hop neighbour",
+				i, f.Node, topology.MachineA().Hops(0, f.Node))
+		}
+	}
+}
+
+func TestOutOfMemoryPanics(t *testing.T) {
+	m := New(topology.MachineB(), PageSize) // one page per node
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(8*PageSize, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when all nodes are full")
+		}
+	}()
+	for i := uint64(0); i < 8; i++ {
+		m.Fault(r.Base+i*PageSize, 0)
+	}
+}
+
+func TestMigrationRefusedWhenTargetFull(t *testing.T) {
+	m := New(topology.MachineB(), PageSize)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(2*PageSize, 0)
+	m.Fault(r.Base, 0)            // fills node 0
+	m.Fault(r.Base+PageSize, 1)   // fills node 1
+	if m.MigratePage(r.Base, 1) { // node 1 has no room
+		t.Fatal("migration into a full node must be refused")
+	}
+}
+
+func TestTHPFallsBackWhenNoRoomFor2MiB(t *testing.T) {
+	m := New(topology.MachineB(), HugePageSize/2) // half a hugepage per node
+	m.SetPolicy(FirstTouch, 0)
+	m.SetTHP(true)
+	r := m.Reserve(HugePageSize, 0)
+	f := m.Fault(r.Base, 0)
+	if f.HugeMapped {
+		t.Fatal("THP fault must fall back to base pages when no node has 2MiB free")
+	}
+	if f.Kind != MinorFault {
+		t.Fatal("fallback must still map the base page")
+	}
+}
+
+func TestTHPFaultMapsWholeGroup(t *testing.T) {
+	m := New(topology.MachineB(), 1<<30)
+	m.SetPolicy(FirstTouch, 0)
+	m.SetTHP(true)
+	r := m.Reserve(2*HugePageSize, 2)
+	f := m.Fault(r.Base+123, 3)
+	if !f.HugeMapped || !f.Huge {
+		t.Fatalf("expected a THP fault, got %+v", f)
+	}
+	// The whole 2MiB group is now mapped on the toucher's node.
+	for off := uint64(0); off < HugePageSize; off += PageSize {
+		node, huge, ok := m.Locate(r.Base + off)
+		if !ok || !huge || node != 3 {
+			t.Fatalf("page at +%d: node=%d huge=%v ok=%v", off, node, huge, ok)
+		}
+	}
+	if m.MinorFaults != 1 {
+		t.Fatalf("THP fault should count once, got %d", m.MinorFaults)
+	}
+	// Interleave places groups round-robin by group index.
+	m2 := New(topology.MachineB(), 1<<30)
+	m2.SetPolicy(Interleave, 0)
+	m2.SetTHP(true)
+	r2 := m2.Reserve(8*HugePageSize, 0)
+	nodes := map[topology.NodeID]int{}
+	for g := uint64(0); g < 8; g++ {
+		f := m2.Fault(r2.Base+g*HugePageSize, 0)
+		nodes[f.Node]++
+	}
+	for n, c := range nodes {
+		if c != 2 {
+			t.Errorf("interleaved THP: node %d got %d groups, want 2", n, c)
+		}
+	}
+}
+
+func TestTHPRespectsPartialGroups(t *testing.T) {
+	m := New(topology.MachineB(), 1<<30)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(HugePageSize, 0)
+	m.Fault(r.Base, 0) // base-page mapping while THP off
+	m.SetTHP(true)
+	f := m.Fault(r.Base+PageSize, 0)
+	if f.HugeMapped {
+		t.Fatal("a partially mapped group must not THP-fault")
+	}
+}
+
+func TestUnmapReleasesHugeCapacity(t *testing.T) {
+	m := New(topology.MachineB(), 1<<30)
+	m.SetPolicy(FirstTouch, 0)
+	m.SetTHP(true)
+	r := m.Reserve(HugePageSize, 0)
+	m.Fault(r.Base, 1)
+	if m.NodeUsed(1) != HugePageSize {
+		t.Fatalf("node 1 used = %d, want %d", m.NodeUsed(1), HugePageSize)
+	}
+	m.UnmapRange(r.Base, HugePageSize)
+	if m.NodeUsed(1) != 0 {
+		t.Fatalf("node 1 used = %d after unmap, want 0", m.NodeUsed(1))
+	}
+	if m.Mapped != 0 {
+		t.Fatalf("mapped = %d after unmap", m.Mapped)
+	}
+}

@@ -1,0 +1,274 @@
+package vmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func newMem(t *testing.T) *Memory {
+	t.Helper()
+	return New(topology.MachineB(), 1<<30) // 4 nodes, 1 GiB each
+}
+
+func TestFirstTouchPlacesOnToucher(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(16*PageSize, 0)
+	f := m.Fault(r.Base, 2)
+	if f.Kind != MinorFault || f.Node != 2 {
+		t.Fatalf("fault = %+v, want minor fault on node 2", f)
+	}
+	// Second access is a hit on the same node, even from another node.
+	f = m.Fault(r.Base, 3)
+	if f.Kind != Hit || f.Node != 2 {
+		t.Fatalf("refault = %+v, want hit on node 2", f)
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(Interleave, 0)
+	r := m.Reserve(8*PageSize, 0)
+	counts := make([]int, 4)
+	for i := uint64(0); i < 8; i++ {
+		f := m.Fault(r.Base+i*PageSize, 1)
+		counts[f.Node]++
+	}
+	for n, c := range counts {
+		if c != 2 {
+			t.Errorf("node %d got %d pages, want 2", n, c)
+		}
+	}
+}
+
+func TestLocalallocUsesOwner(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(Localalloc, 0)
+	r := m.Reserve(4*PageSize, 3)
+	f := m.Fault(r.Base, 0) // touched by node 0, owned by node 3
+	if f.Node != 3 {
+		t.Fatalf("localalloc placed on node %d, want owner node 3", f.Node)
+	}
+}
+
+func TestPreferredWithFallback(t *testing.T) {
+	m := New(topology.MachineB(), 4*PageSize) // tiny nodes: 4 pages each
+	m.SetPolicy(Preferred, 1)
+	r := m.Reserve(8*PageSize, 0)
+	var onPreferred, elsewhere int
+	for i := uint64(0); i < 8; i++ {
+		f := m.Fault(r.Base+i*PageSize, 0)
+		if f.Node == 1 {
+			onPreferred++
+		} else {
+			elsewhere++
+		}
+	}
+	if onPreferred != 4 || elsewhere != 4 {
+		t.Fatalf("preferred=%d elsewhere=%d, want 4 and 4", onPreferred, elsewhere)
+	}
+}
+
+func TestReleaseFreesCapacity(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(16*PageSize, 0)
+	for i := uint64(0); i < 16; i++ {
+		m.Fault(r.Base+i*PageSize, 0)
+	}
+	if m.NodeUsed(0) != 16*PageSize {
+		t.Fatalf("node 0 used = %d, want %d", m.NodeUsed(0), 16*PageSize)
+	}
+	m.Release(r)
+	if m.NodeUsed(0) != 0 || m.Mapped != 0 {
+		t.Fatalf("after release: used=%d mapped=%d, want 0,0", m.NodeUsed(0), m.Mapped)
+	}
+}
+
+func TestUnmapRangePartial(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(8*PageSize, 0)
+	for i := uint64(0); i < 8; i++ {
+		m.Fault(r.Base+i*PageSize, 0)
+	}
+	m.UnmapRange(r.Base, 2*PageSize)
+	if m.Mapped != 6 {
+		t.Fatalf("mapped = %d, want 6", m.Mapped)
+	}
+	if _, _, ok := m.Locate(r.Base); ok {
+		t.Error("unmapped page still located")
+	}
+	if _, _, ok := m.Locate(r.Base + 3*PageSize); !ok {
+		t.Error("still-mapped page not located")
+	}
+}
+
+func TestMigratePage(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(PageSize, 0)
+	m.Fault(r.Base, 0)
+	if !m.MigratePage(r.Base, 2) {
+		t.Fatal("migration refused")
+	}
+	if n, _, _ := m.Locate(r.Base); n != 2 {
+		t.Fatalf("page on node %d after migration, want 2", n)
+	}
+	if m.MigratePage(r.Base, 2) {
+		t.Error("migration to same node should be a no-op")
+	}
+	if m.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", m.Migrations)
+	}
+	if m.NodeUsed(0) != 0 || m.NodeUsed(2) != PageSize {
+		t.Error("capacity accounting wrong after migration")
+	}
+}
+
+func touchHugeGroup(m *Memory, r Range, node topology.NodeID) {
+	for i := uint64(0); i < PagesPerHuge; i++ {
+		m.Fault(r.Base+i*PageSize, node)
+	}
+}
+
+func TestPromoteAndSplitHuge(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(HugePageSize, 0)
+	touchHugeGroup(m, r, 1)
+	if !m.PromoteHuge(r.Base) {
+		t.Fatal("promotion refused for eligible group")
+	}
+	if _, huge, _ := m.Locate(r.Base + 100*PageSize); !huge {
+		t.Error("page in promoted group not huge")
+	}
+	if m.MigratePage(r.Base, 2) {
+		t.Error("huge page must not migrate without a split")
+	}
+	if !m.SplitHuge(r.Base + 5*PageSize) {
+		t.Fatal("split refused")
+	}
+	if _, huge, _ := m.Locate(r.Base); huge {
+		t.Error("page still huge after split")
+	}
+	if m.Promotions != 1 || m.Splits != 1 {
+		t.Errorf("promotions=%d splits=%d, want 1,1", m.Promotions, m.Splits)
+	}
+}
+
+func TestPromoteRejectsMixedNodes(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(HugePageSize, 0)
+	for i := uint64(0); i < PagesPerHuge; i++ {
+		m.Fault(r.Base+i*PageSize, topology.NodeID(i%2)) // alternate nodes
+	}
+	if m.PromoteHuge(r.Base) {
+		t.Fatal("promotion must require a single backing node")
+	}
+}
+
+func TestPromoteRejectsPartiallyMapped(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(HugePageSize, 0)
+	for i := uint64(0); i < PagesPerHuge-1; i++ {
+		m.Fault(r.Base+i*PageSize, 0)
+	}
+	if m.PromoteHuge(r.Base) {
+		t.Fatal("promotion must require all 512 pages mapped")
+	}
+}
+
+func TestHugeCandidates(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(3*HugePageSize, 0)
+	// Fully touch group 0 and 2; leave group 1 partial.
+	for g := uint64(0); g < 3; g++ {
+		limit := uint64(PagesPerHuge)
+		if g == 1 {
+			limit = 10
+		}
+		for i := uint64(0); i < limit; i++ {
+			m.Fault(r.Base+g*HugePageSize+i*PageSize, 0)
+		}
+	}
+	var got []uint64
+	m.HugeCandidates(r, func(base uint64) { got = append(got, base) })
+	if len(got) != 2 || got[0] != r.Base || got[1] != r.Base+2*HugePageSize {
+		t.Fatalf("candidates = %v, want groups 0 and 2", got)
+	}
+}
+
+func TestUnmapSplitsHuge(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(FirstTouch, 0)
+	r := m.Reserve(HugePageSize, 0)
+	touchHugeGroup(m, r, 0)
+	m.PromoteHuge(r.Base)
+	m.UnmapRange(r.Base, PageSize) // freeing part of a huge page forces a split
+	if m.Splits != 1 {
+		t.Fatalf("splits = %d, want 1 (allocator free inside hugepage)", m.Splits)
+	}
+}
+
+func TestReservationsAreHugeAligned(t *testing.T) {
+	m := newMem(t)
+	r1 := m.Reserve(PageSize, 0)
+	r2 := m.Reserve(PageSize, 0)
+	if r1.Base%HugePageSize != 0 || r2.Base%HugePageSize != 0 {
+		t.Error("reservations must be hugepage aligned")
+	}
+	if r1.End() > r2.Base {
+		t.Error("reservations overlap")
+	}
+}
+
+func TestFaultAccountingProperty(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(Interleave, 0)
+	r := m.Reserve(1024*PageSize, 0)
+	faulted := map[uint64]bool{}
+	f := func(pageRaw uint16, toucherRaw uint8) bool {
+		page := uint64(pageRaw) % 1024
+		addr := r.Base + page*PageSize
+		before := m.MinorFaults
+		res := m.Fault(addr, topology.NodeID(toucherRaw%4))
+		if faulted[page] {
+			return res.Kind == Hit && m.MinorFaults == before
+		}
+		faulted[page] = true
+		return res.Kind == MinorFault && m.MinorFaults == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if m.Mapped != uint64(len(faulted)) {
+		t.Errorf("mapped = %d, want %d", m.Mapped, len(faulted))
+	}
+}
+
+func TestPanicsOnUnreservedAccess(t *testing.T) {
+	m := newMem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unreserved access")
+		}
+	}()
+	m.Fault(1<<40, 0)
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range Policies() {
+		if p.String() == "" {
+			t.Errorf("policy %d has empty name", p)
+		}
+	}
+	if FirstTouch.String() != "First Touch" {
+		t.Errorf("got %q", FirstTouch.String())
+	}
+}

@@ -1,0 +1,226 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	r := New(7)
+	d1 := r.Derive(1)
+	d2 := r.Derive(2)
+	d1Again := r.Derive(1)
+	if d1.Uint64() != d1Again.Uint64() {
+		t.Fatal("Derive is not deterministic")
+	}
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different labels collide suspiciously")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, trials = 10, 100000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want about 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.05 {
+		t.Errorf("mean = %v, want about 1", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.02 {
+		t.Errorf("empirical p = %v, want about 0.3", p)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 0.5, 1000)
+	const n = 200000
+	counts := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v >= 1000 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be the most frequent and clearly above uniform share.
+	if counts[0] <= n/1000 {
+		t.Errorf("rank 0 count %d not above uniform share %d", counts[0], n/1000)
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("rank 0 (%d) should dominate rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func TestZipfHighExponentConcentrates(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 2.0, 100)
+	const n = 50000
+	top := 0
+	for i := 0; i < n; i++ {
+		if z.Uint64() == 0 {
+			top++
+		}
+	}
+	if float64(top)/n < 0.5 {
+		t.Errorf("with s=2, rank 0 share = %v, want > 0.5", float64(top)/n)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for _, tc := range []struct {
+		s float64
+		n uint64
+	}{{0, 10}, {-1, 10}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%v, %v): expected panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(r, tc.s, tc.n)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 0.5, 1<<20)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,174 @@
+// Package repro is a faithful, simulator-backed reproduction of
+// "The Art of Efficient In-memory Query Processing on NUMA Systems: a
+// Systematic Approach" (Memarzia, Ray, Bhavsar — ICDE 2020).
+//
+// It provides:
+//
+//   - a deterministic NUMA hardware simulator (topologies, caches, TLBs,
+//     placement policies, AutoNUMA and THP kernel daemons, OS scheduler
+//     behaviour) with presets for the paper's three machines;
+//   - behavioural models of seven dynamic memory allocators;
+//   - the paper's five workloads: holistic and distributive aggregation,
+//     hash join, index nested-loop join over four in-memory indexes, and
+//     TPC-H on five database-engine profiles;
+//   - the systematic-tuning methodology itself: the Table IV parameter
+//     space, experiment drivers for every figure and table, and the
+//     Figure 10 decision flowchart as an executable advisor.
+//
+// This package is a facade: it re-exports the library's primary types and
+// constructors so applications need a single import. The implementation
+// lives under internal/ (see DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	m := repro.NewMachineA()
+//	m.Configure(repro.TunedConfig(16))
+//	out := repro.Aggregate(m, repro.AggregationSpec{
+//	    Records:     repro.MovingCluster(100000, 10000, 1),
+//	    Cardinality: 10000,
+//	    Holistic:    true,
+//	})
+//	fmt.Println(m.Seconds(out.Result.WallCycles))
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/query"
+	"repro/internal/tpch"
+	"repro/internal/vmm"
+)
+
+// Machine simulation types.
+type (
+	// Machine is a simulated NUMA system.
+	Machine = machine.Machine
+	// Spec is a machine's hardware description (Table II).
+	Spec = machine.Spec
+	// Thread is a simulated worker thread handed to workload bodies.
+	Thread = machine.Thread
+	// RunConfig is one point of the paper's parameter space (Table IV).
+	RunConfig = machine.RunConfig
+	// Result is a completed run: wall cycles plus the perf-counter profile.
+	Result = machine.Result
+	// Counters is the simulated perf-counter profile (Table III).
+	Counters = machine.Counters
+	// Placement is the thread placement strategy (None/Sparse/Dense).
+	Placement = machine.Placement
+	// Policy is the memory placement policy (numactl equivalents).
+	Policy = vmm.Policy
+)
+
+// Thread placement strategies.
+const (
+	PlaceNone   = machine.PlaceNone
+	PlaceSparse = machine.PlaceSparse
+	PlaceDense  = machine.PlaceDense
+)
+
+// Memory placement policies.
+const (
+	FirstTouch = vmm.FirstTouch
+	Interleave = vmm.Interleave
+	Localalloc = vmm.Localalloc
+	Preferred  = vmm.Preferred
+)
+
+// Machine constructors for the paper's three evaluation systems.
+var (
+	NewMachineA = machine.NewA
+	NewMachineB = machine.NewB
+	NewMachineC = machine.NewC
+	NewMachine  = machine.New
+	SpecA       = machine.SpecA
+	SpecB       = machine.SpecB
+	SpecC       = machine.SpecC
+)
+
+// DefaultConfig returns the out-of-the-box OS configuration (the paper's
+// baseline); TunedConfig the paper's recommended configuration.
+var (
+	DefaultConfig = machine.DefaultConfig
+	TunedConfig   = machine.TunedConfig
+)
+
+// Workload types and runners.
+type (
+	// Record is a key/value tuple of the synthetic datasets.
+	Record = datagen.Record
+	// Distribution names an aggregation dataset distribution.
+	Distribution = datagen.Distribution
+	// AggregationSpec describes a W1/W2 aggregation run.
+	AggregationSpec = query.AggregationSpec
+	// JoinSpec describes a W3 hash join run.
+	JoinSpec = query.JoinSpec
+	// JoinTables is the 1:16 decision-support join dataset.
+	JoinTables = datagen.JoinTables
+	// Outcome reports a workload execution.
+	Outcome = query.Outcome
+	// JoinOutcome adds the build/probe phase split.
+	JoinOutcome = query.JoinOutcome
+	// IndexKind names one of the four W4 indexes.
+	IndexKind = index.Kind
+)
+
+// Dataset generators (Section IV-B).
+var (
+	MovingCluster = datagen.MovingCluster
+	Sequential    = datagen.Sequential
+	Zipfian       = datagen.Zipfian
+	JoinData      = datagen.Join
+)
+
+// Workload executors (W1-W4).
+var (
+	Aggregate = query.Aggregate
+	HashJoin  = query.HashJoin
+	IndexJoin = query.IndexJoin
+)
+
+// The four in-memory indexes of W4.
+const (
+	ART      = index.ARTKind
+	Masstree = index.MasstreeKind
+	BTree    = index.BTreeKind
+	SkipList = index.SkipListKind
+)
+
+// Tuning methodology (the paper's contribution).
+type (
+	// Traits describes a workload to the decision flowchart.
+	Traits = core.Traits
+	// Recommendation is the flowchart's output configuration.
+	Recommendation = core.Recommendation
+)
+
+// Advise walks the Figure 10 decision flowchart; Space enumerates the
+// Table IV parameter space; Speedup computes relative latency reduction.
+var (
+	Advise  = core.Advise
+	Space   = core.Space
+	Speedup = core.Speedup
+)
+
+// TPC-H (W5).
+type (
+	// TPCHDB is a generated TPC-H database.
+	TPCHDB = tpch.DB
+	// EngineProfile models one of the five database systems.
+	EngineProfile = tpch.Profile
+	// TPCHHarness measures warm query latencies the way the paper does.
+	TPCHHarness = tpch.Harness
+	// QueryResult is one TPC-H query execution.
+	QueryResult = tpch.QueryResult
+)
+
+// TPC-H constructors.
+var (
+	GenerateTPCH   = tpch.Generate
+	EngineProfiles = tpch.Profiles
+	EngineByName   = tpch.ProfileByName
+	NewTPCHHarness = tpch.NewHarness
+)

@@ -1,0 +1,94 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// The facade tests double as compile-time checks that the public API stays
+// wired to the internal implementation.
+
+func TestQuickstartFlow(t *testing.T) {
+	m := repro.NewMachineA()
+	m.Configure(repro.TunedConfig(8))
+	recs := repro.MovingCluster(20000, 1000, 1)
+	out := repro.Aggregate(m, repro.AggregationSpec{
+		Records:     recs,
+		Cardinality: 1000,
+		Holistic:    true,
+	})
+	distinct := map[uint64]bool{}
+	for _, r := range recs {
+		distinct[r.Key] = true
+	}
+	if out.Groups != len(distinct) {
+		t.Errorf("groups = %d, want %d distinct keys", out.Groups, len(distinct))
+	}
+	if m.Seconds(out.Result.WallCycles) <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestTunedBeatsDefaultHeadline(t *testing.T) {
+	// The repository's headline claim, via the public API only.
+	recs := repro.MovingCluster(120000, 15000, 1)
+	run := func(cfg repro.RunConfig) float64 {
+		m := repro.NewMachineA()
+		m.Configure(cfg)
+		return repro.Aggregate(m, repro.AggregationSpec{
+			Records: recs, Cardinality: 15000, Holistic: true,
+		}).Result.WallCycles
+	}
+	def := run(repro.DefaultConfig(16))
+	tuned := run(repro.TunedConfig(16))
+	if s := repro.Speedup(def, tuned); s <= 0.1 {
+		t.Errorf("tuned config speedup = %v, want > 10%%", s)
+	}
+}
+
+func TestJoinsAgree(t *testing.T) {
+	tables := repro.JoinData(2000, 8, 3)
+	m1 := repro.NewMachineB()
+	m1.Configure(repro.TunedConfig(8))
+	hj := repro.HashJoin(m1, repro.JoinSpec{Tables: tables})
+	m2 := repro.NewMachineB()
+	m2.Configure(repro.TunedConfig(8))
+	ij := repro.IndexJoin(m2, repro.ART, tables)
+	if hj.Checksum != ij.Checksum || hj.Matches != ij.Matches {
+		t.Errorf("join results disagree: (%d,%d) vs (%d,%d)",
+			hj.Matches, hj.Checksum, ij.Matches, ij.Checksum)
+	}
+}
+
+func TestAdvisorFacade(t *testing.T) {
+	rec := repro.Advise(repro.Traits{
+		MemoryBandwidthBound: true,
+		SuperuserAccess:      true,
+		AllocationHeavy:      true,
+	})
+	if rec.Allocator != "tbbmalloc" || rec.Placement != repro.PlaceSparse {
+		t.Errorf("unexpected recommendation: %+v", rec)
+	}
+	cfg := rec.Apply(16)
+	if cfg.Policy != repro.Interleave {
+		t.Errorf("policy = %v, want Interleave", cfg.Policy)
+	}
+}
+
+func TestParameterSpace(t *testing.T) {
+	s := repro.Space()
+	if len(s.Workloads) != 5 || len(s.Allocators) != 7 {
+		t.Errorf("parameter space wrong: %+v", s)
+	}
+}
+
+func TestTPCHFacade(t *testing.T) {
+	db := repro.GenerateTPCH(0.001, 1)
+	h := repro.NewTPCHHarness(repro.SpecB(), repro.EngineByName("Quickstep"),
+		repro.TunedConfig(8), db, 1)
+	wall, res := h.Measure(6)
+	if wall <= 0 || res.Query != 6 {
+		t.Errorf("harness measure: wall=%v query=%d", wall, res.Query)
+	}
+}
