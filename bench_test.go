@@ -48,7 +48,10 @@ func logTables(b *testing.B, i int, tables ...*report.Table) {
 func BenchmarkFig2_AllocatorMicrobench(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig2(s)
+		r, err := experiments.Fig2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.RenderTime(), r.RenderOverhead())
 	}
 }
@@ -56,7 +59,10 @@ func BenchmarkFig2_AllocatorMicrobench(b *testing.B) {
 func BenchmarkFig3_AffinityVariance(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig3(s)
+		r, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -64,7 +70,10 @@ func BenchmarkFig3_AffinityVariance(b *testing.B) {
 func BenchmarkTable3_PlacementProfile(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table3(s)
+		r, err := experiments.Table3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -72,7 +81,10 @@ func BenchmarkTable3_PlacementProfile(b *testing.B) {
 func BenchmarkFig4_SparseVsDense(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig4(s)
+		r, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -80,7 +92,10 @@ func BenchmarkFig4_SparseVsDense(b *testing.B) {
 func BenchmarkFig5a_AutoNUMA(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5a(s)
+		r, err := experiments.Fig5a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render(), r.RenderLAR())
 	}
 }
@@ -88,7 +103,10 @@ func BenchmarkFig5a_AutoNUMA(b *testing.B) {
 func BenchmarkFig5c_THP(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5c(s)
+		r, err := experiments.Fig5c(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -96,7 +114,10 @@ func BenchmarkFig5c_THP(b *testing.B) {
 func BenchmarkFig5d_Machines(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5d(s)
+		r, err := experiments.Fig5d(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -104,7 +125,10 @@ func BenchmarkFig5d_Machines(b *testing.B) {
 func BenchmarkFig6_W1_Allocators(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6W1(s, "A")
+		r, err := experiments.Fig6W1(s, "A")
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -112,7 +136,10 @@ func BenchmarkFig6_W1_Allocators(b *testing.B) {
 func BenchmarkFig6_W2_Allocators(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6W2(s, "A")
+		r, err := experiments.Fig6W2(s, "A")
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -120,7 +147,10 @@ func BenchmarkFig6_W2_Allocators(b *testing.B) {
 func BenchmarkFig6_W3_Allocators(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6W3(s, "A")
+		r, err := experiments.Fig6W3(s, "A")
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -128,7 +158,10 @@ func BenchmarkFig6_W3_Allocators(b *testing.B) {
 func BenchmarkFig6j_Distributions(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6j(s)
+		r, err := experiments.Fig6j(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -137,10 +170,16 @@ func BenchmarkFig7_INLJ_Indexes(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		var tabs []*report.Table
+		var grids []experiments.Fig7Result
 		for _, k := range index.Kinds() {
-			tabs = append(tabs, experiments.Fig7(s, k).Render())
+			r, err := experiments.Fig7(s, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tabs = append(tabs, r.Render())
+			grids = append(grids, r)
 		}
-		tabs = append(tabs, experiments.Fig7e(s).Render())
+		tabs = append(tabs, experiments.Fig7eFromGrids(grids).Render())
 		logTables(b, i, tabs...)
 	}
 }
@@ -148,7 +187,10 @@ func BenchmarkFig7_INLJ_Indexes(b *testing.B) {
 func BenchmarkFig8_TPCH(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig8(s)
+		r, err := experiments.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -156,7 +198,10 @@ func BenchmarkFig8_TPCH(b *testing.B) {
 func BenchmarkFig9_TPCHAllocators(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig9(s)
+		r, err := experiments.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }
@@ -164,7 +209,10 @@ func BenchmarkFig9_TPCHAllocators(b *testing.B) {
 func BenchmarkFig10_Advisor(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig10(s)
+		r, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		logTables(b, i, r.Render())
 	}
 }

@@ -28,7 +28,11 @@ func main() {
 	}
 	s := experiments.Small
 	s.MicrobenchOps = *ops
-	r := experiments.Fig2(s)
+	r, err := experiments.Fig2(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocbench:", err)
+		os.Exit(1)
+	}
 	if *csv {
 		r.RenderTime().RenderCSV(os.Stdout)
 		fmt.Println()

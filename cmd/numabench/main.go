@@ -5,7 +5,9 @@
 // Usage:
 //
 //	numabench -experiment fig5a -scale small
+//	numabench -experiment fig2,fig3,fig4 -scale tiny
 //	numabench -experiment all -scale default -csv
+//	numabench -experiment all -scale cal -parallel 4
 //	numabench -list
 package main
 
@@ -13,12 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/index"
-	"repro/internal/report"
 )
 
 func scales() map[string]experiments.Scale {
@@ -30,103 +31,19 @@ func scales() map[string]experiments.Scale {
 	}
 }
 
-// tables returns the renderables an experiment id produces.
-type runner func(s experiments.Scale) []*report.Table
-
-func runners() map[string]runner {
-	return map[string]runner{
-		"fig2": func(s experiments.Scale) []*report.Table {
-			r := experiments.Fig2(s)
-			return []*report.Table{r.RenderTime(), r.RenderOverhead()}
-		},
-		"fig3": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig3(s).Render()}
-		},
-		"table2": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Table2()}
-		},
-		"table3": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Table3(s).Render()}
-		},
-		"fig4": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig4(s).Render()}
-		},
-		"fig5a": func(s experiments.Scale) []*report.Table {
-			r := experiments.Fig5a(s)
-			return []*report.Table{r.Render(), r.RenderLAR()}
-		},
-		"fig5c": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig5c(s).Render()}
-		},
-		"fig5d": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig5d(s).Render()}
-		},
-		"fig6w1": func(s experiments.Scale) []*report.Table {
-			var ts []*report.Table
-			for _, mc := range []string{"A", "B", "C"} {
-				ts = append(ts, experiments.Fig6W1(s, mc).Render())
-			}
-			return ts
-		},
-		"fig6w2": func(s experiments.Scale) []*report.Table {
-			var ts []*report.Table
-			for _, mc := range []string{"A", "B", "C"} {
-				ts = append(ts, experiments.Fig6W2(s, mc).Render())
-			}
-			return ts
-		},
-		"fig6w3": func(s experiments.Scale) []*report.Table {
-			var ts []*report.Table
-			for _, mc := range []string{"A", "B", "C"} {
-				ts = append(ts, experiments.Fig6W3(s, mc).Render())
-			}
-			return ts
-		},
-		"fig6j": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig6j(s).Render()}
-		},
-		"fig7": func(s experiments.Scale) []*report.Table {
-			var ts []*report.Table
-			for _, k := range index.Kinds() {
-				ts = append(ts, experiments.Fig7(s, k).Render())
-			}
-			ts = append(ts, experiments.Fig7e(s).Render())
-			return ts
-		},
-		"fig8": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig8(s).Render()}
-		},
-		"fig9": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig9(s).Render()}
-		},
-		"fig10": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Fig10(s).Render()}
-		},
-		"ablation": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.Ablate(s).Render()}
-		},
-		"preferred": func(s experiments.Scale) []*report.Table {
-			return []*report.Table{experiments.PolicySensitivity(s).Render()}
-		},
-	}
-}
-
 func main() {
 	var (
-		exp      = flag.String("experiment", "", "experiment id (see -list) or 'all'")
+		exp      = flag.String("experiment", "", "comma-separated experiment ids (see -list) or 'all'")
 		scale    = flag.String("scale", "small", "dataset scale: tiny, small, cal or default")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		showTime = flag.Bool("time", true, "print per-experiment elapsed wall time")
+		parallel = flag.Int("parallel", 1, "grid worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
+		progress = flag.Bool("progress", false, "report grid cell progress on stderr")
 	)
 	flag.Parse()
 
-	ids := make([]string, 0, len(runners()))
-	for id := range runners() {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-
+	ids := experiments.Ids()
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)
@@ -146,15 +63,39 @@ func main() {
 	case "all":
 		todo = ids
 	default:
-		if _, ok := runners()[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "numabench: unknown experiment %q\n", *exp)
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, err := experiments.Lookup(id); err != nil {
+				fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+				os.Exit(2)
+			}
+			todo = append(todo, id)
+		}
+		if len(todo) == 0 {
+			fmt.Fprintln(os.Stderr, "numabench: -experiment required (or -list)")
 			os.Exit(2)
 		}
-		todo = []string{*exp}
 	}
 	for _, id := range todo {
+		r := core.Runner{Workers: *parallel}
+		if *progress {
+			r.Progress = core.ProgressWriter(os.Stderr, id, 0)
+		}
+		experiments.SetRunner(r)
+		driver, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+			os.Exit(2)
+		}
 		start := time.Now()
-		tables := runners()[id](s)
+		tables, err := driver(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
 		for _, tab := range tables {
 			if *csv {
 				tab.RenderCSV(os.Stdout)

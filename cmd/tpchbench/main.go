@@ -4,9 +4,15 @@
 // (Figure 8), or a single engine's latencies per allocator (Figure 9
 // style).
 //
+// Independent harness runs (one per engine profile and configuration, or
+// one per allocator) are dispatched through the core worker pool; results
+// are identical for any -parallel setting because each harness owns its
+// machine and engine state.
+//
 // Usage:
 //
 //	tpchbench -sf 0.005                       # Figure 8 on all engines
+//	tpchbench -sf 0.005 -parallel 4           # same tables, less wall time
 //	tpchbench -sf 0.005 -engine MonetDB -q 5,18 -allocators
 package main
 
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/tpch"
@@ -31,12 +38,18 @@ func main() {
 	allocators := flag.Bool("allocators", false, "sweep allocators instead of default-vs-tuned (needs -engine)")
 	warm := flag.Int("warm", 2, "warm runs per query")
 	seed := flag.Uint64("seed", 41, "dataset seed")
+	parallel := flag.Int("parallel", 1, "harness worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
+	progress := flag.Bool("progress", false, "report harness progress on stderr")
 	flag.Parse()
 
 	queries, err := parseQueries(*queriesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpchbench:", err)
 		os.Exit(2)
+	}
+	runner := core.Runner{Workers: *parallel}
+	if *progress {
+		runner.Progress = core.ProgressWriter(os.Stderr, "tpchbench", 0)
 	}
 	db := tpch.Generate(*sf, *seed)
 	fmt.Fprintf(os.Stderr, "generated TPC-H SF %v: %d lineitems, %d orders\n",
@@ -47,7 +60,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench: -allocators requires -engine")
 			os.Exit(2)
 		}
-		sweepAllocators(db, *engine, queries, *warm)
+		if err := sweepAllocators(runner, db, *engine, queries, *warm); err != nil {
+			fmt.Fprintln(os.Stderr, "tpchbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -61,38 +77,50 @@ func main() {
 		tab.Header = append(tab.Header, p.Name)
 	}
 	spec := machine.SpecA()
-	results := map[string]map[int]float64{}
-	for _, p := range profiles {
-		defCfg := machine.DefaultConfig(spec.HardwareThreads())
-		defCfg.Seed = 9
-		tuned := machine.RunConfig{
-			Threads:   spec.HardwareThreads(),
-			Placement: machine.PlaceSparse,
-			Policy:    vmm.FirstTouch,
-			Allocator: "tbbmalloc",
-			Seed:      1,
-			THP:       p.Name == "DBMSx",
+	// One cell per (profile, config): a harness caches engine state across
+	// queries, so the harness run is the unit of parallelism.
+	const configs = 2 // 0 = OS default, 1 = tuned
+	walls, err := core.Collect(runner, len(profiles)*configs, func(i int) ([]float64, error) {
+		p := profiles[i/configs]
+		var cfg machine.RunConfig
+		if i%configs == 0 {
+			cfg = machine.DefaultConfig(spec.HardwareThreads())
+			cfg.Seed = 9
+		} else {
+			cfg = machine.RunConfig{
+				Threads:   spec.HardwareThreads(),
+				Placement: machine.PlaceSparse,
+				Policy:    vmm.FirstTouch,
+				Allocator: "tbbmalloc",
+				Seed:      1,
+				THP:       p.Name == "DBMSx",
+			}
 		}
-		defH := tpch.NewHarness(spec, p, defCfg, db, *warm)
-		tunedH := tpch.NewHarness(spec, p, tuned, db, *warm)
-		results[p.Name] = map[int]float64{}
+		h := tpch.NewHarness(spec, p, cfg, db, *warm)
+		out := make([]float64, 0, len(queries))
 		for _, q := range queries {
-			d, _ := defH.Measure(q)
-			u, _ := tunedH.Measure(q)
-			results[p.Name][q] = (d - u) / d
+			w, _ := h.Measure(q)
+			out = append(out, w)
 		}
+		return out, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(1)
 	}
-	for _, q := range queries {
+	for qi, q := range queries {
 		cells := []interface{}{"Q" + strconv.Itoa(q)}
-		for _, p := range profiles {
-			cells = append(cells, report.Pct(results[p.Name][q]))
+		for pi := range profiles {
+			d := walls[pi*configs][qi]
+			u := walls[pi*configs+1][qi]
+			cells = append(cells, report.Pct((d-u)/d))
 		}
 		tab.AddRow(cells...)
 	}
 	tab.Render(os.Stdout)
 }
 
-func sweepAllocators(db *tpch.DB, engine string, queries []int, warm int) {
+func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int) error {
 	prof := tpch.ProfileByName(engine)
 	spec := machine.SpecA()
 	tab := &report.Table{Title: engine + " query latency by allocator (billion cycles)"}
@@ -100,23 +128,35 @@ func sweepAllocators(db *tpch.DB, engine string, queries []int, warm int) {
 	for _, q := range queries {
 		tab.Header = append(tab.Header, "Q"+strconv.Itoa(q))
 	}
-	for _, name := range alloc.WorkloadNames() {
+	names := alloc.WorkloadNames()
+	walls, err := core.Collect(runner, len(names), func(i int) ([]float64, error) {
 		cfg := machine.RunConfig{
 			Threads:   spec.HardwareThreads(),
 			Placement: machine.PlaceSparse,
 			Policy:    vmm.FirstTouch,
-			Allocator: name,
+			Allocator: names[i],
 			Seed:      1,
 		}
 		h := tpch.NewHarness(spec, prof, cfg, db, warm)
-		cells := []interface{}{name}
+		out := make([]float64, 0, len(queries))
 		for _, q := range queries {
-			wall, _ := h.Measure(q)
-			cells = append(cells, report.Billions(wall))
+			w, _ := h.Measure(q)
+			out = append(out, w)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		cells := []interface{}{name}
+		for qi := range queries {
+			cells = append(cells, report.Billions(walls[i][qi]))
 		}
 		tab.AddRow(cells...)
 	}
 	tab.Render(os.Stdout)
+	return nil
 }
 
 func parseQueries(s string) ([]int, error) {

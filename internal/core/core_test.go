@@ -136,21 +136,21 @@ func TestAdvisedBeatsDefaultOnW1(t *testing.T) {
 
 func TestGrid(t *testing.T) {
 	cfgs := []machine.RunConfig{machine.DefaultConfig(2), machine.TunedConfig(2)}
-	ms := Grid([]string{"default", "tuned"}, cfgs, func(cfg machine.RunConfig) machine.Result {
+	ms, err := Grid([]string{"default", "tuned"}, cfgs, func(cfg machine.RunConfig) machine.Result {
 		return machine.Result{WallCycles: float64(cfg.Threads)}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ms) != 2 || ms[0].Label != "default" || ms[1].Cycles() != 2 {
 		t.Errorf("grid output wrong: %+v", ms)
 	}
 }
 
-func TestGridPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Grid([]string{"a"}, nil, nil)
+func TestGridErrorsOnMismatch(t *testing.T) {
+	if _, err := Grid([]string{"a"}, nil, nil); err == nil {
+		t.Fatal("expected an error for a label/config length mismatch")
+	}
 }
 
 func TestSpeedup(t *testing.T) {

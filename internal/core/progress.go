@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressWriter returns a ProgressFunc that reports grid progress to w as
+// a single self-overwriting line: cells done/total, throughput, and an ETA
+// extrapolated from the mean cell time so far. Updates are throttled to
+// one every interval (100ms when interval <= 0) except the final cell,
+// which always prints and terminates the line. Safe for the runner's
+// serialized calls; the returned func keeps its own state, so build a
+// fresh one per grid.
+func ProgressWriter(w io.Writer, label string, interval time.Duration) ProgressFunc {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	var (
+		mu   sync.Mutex
+		last time.Time
+	)
+	return func(done, total int, elapsed time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		final := done >= total
+		if !final && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		eta := time.Duration(0)
+		if done > 0 {
+			eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		}
+		fmt.Fprintf(w, "\r[%s] %d/%d cells, %.1fs elapsed, ETA %.1fs",
+			label, done, total, elapsed.Seconds(), eta.Seconds())
+		if final {
+			fmt.Fprintln(w)
+		}
+	}
+}

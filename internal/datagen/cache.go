@@ -1,0 +1,56 @@
+package datagen
+
+import "repro/internal/memo"
+
+// The experiment drivers regenerate identical datasets for every grid cell
+// (same distribution, size, cardinality and seed), even though generation
+// is deterministic and the records are read-only once built. These cached
+// variants build each distinct dataset once per process and share it across
+// cells — including cells running concurrently on the grid runner's worker
+// pool. Callers must not mutate the returned slices.
+
+type genKey struct {
+	dist    Distribution
+	n, card int
+	seed    uint64
+}
+
+type joinKey struct {
+	rSize, ratio int
+	seed         uint64
+}
+
+var (
+	genCache  memo.Table[genKey, []Record]
+	joinCache memo.Table[joinKey, JoinTables]
+)
+
+// CachedGenerate is Generate memoized on (dist, n, cardinality, seed). The
+// returned records are shared and must be treated as immutable.
+func CachedGenerate(dist Distribution, n, cardinality int, seed uint64) []Record {
+	return genCache.Get(genKey{dist, n, cardinality, seed}, func() []Record {
+		return Generate(dist, n, cardinality, seed)
+	})
+}
+
+// CachedJoin is Join memoized on (rSize, ratio, seed). The returned tables
+// are shared and must be treated as immutable.
+func CachedJoin(rSize, ratio int, seed uint64) JoinTables {
+	return joinCache.Get(joinKey{rSize, ratio, seed}, func() JoinTables {
+		return Join(rSize, ratio, seed)
+	})
+}
+
+// CacheStats reports combined hits and misses of the dataset caches.
+func CacheStats() (hits, misses uint64) {
+	gh, gm := genCache.Stats()
+	jh, jm := joinCache.Stats()
+	return gh + jh, gm + jm
+}
+
+// ResetCache drops every cached dataset (used by tests and long-lived
+// processes that want the memory back).
+func ResetCache() {
+	genCache.Reset()
+	joinCache.Reset()
+}

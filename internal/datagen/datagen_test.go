@@ -140,3 +140,42 @@ func TestJoinReferentialIntegrityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCachedGenerateSharesOneBuild(t *testing.T) {
+	ResetCache()
+	a := CachedGenerate(MovingClusterDist, 1000, 100, 11)
+	b := CachedGenerate(MovingClusterDist, 1000, 100, 11)
+	if &a[0] != &b[0] {
+		t.Error("identical inputs should share one cached dataset")
+	}
+	c := CachedGenerate(MovingClusterDist, 1000, 100, 12)
+	if &a[0] == &c[0] {
+		t.Error("different seeds must not share a dataset")
+	}
+	fresh := Generate(MovingClusterDist, 1000, 100, 11)
+	for i := range fresh {
+		if a[i] != fresh[i] {
+			t.Fatalf("cached dataset diverges from a fresh build at record %d", i)
+		}
+	}
+	if hits, misses := CacheStats(); hits != 1 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	ResetCache()
+}
+
+func TestCachedJoinSharesOneBuild(t *testing.T) {
+	ResetCache()
+	a := CachedJoin(500, DefaultJoinRatio, 17)
+	b := CachedJoin(500, DefaultJoinRatio, 17)
+	if &a.R[0] != &b.R[0] || &a.S[0] != &b.S[0] {
+		t.Error("identical inputs should share one cached join dataset")
+	}
+	fresh := Join(500, DefaultJoinRatio, 17)
+	for i := range fresh.R {
+		if a.R[i] != fresh.R[i] {
+			t.Fatalf("cached R diverges at %d", i)
+		}
+	}
+	ResetCache()
+}

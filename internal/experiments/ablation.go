@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -28,7 +29,7 @@ type ablation struct {
 
 // Ablate runs the headline W1 experiment under each ablation of the cost
 // model.
-func Ablate(s Scale) AblationResult {
+func Ablate(s Scale) (AblationResult, error) {
 	cases := []ablation{
 		{"full model", func(m *machine.Machine) {}},
 		{"no controller contention", func(m *machine.Machine) {
@@ -55,25 +56,33 @@ func Ablate(s Scale) AblationResult {
 			m.P.MigrationCycles = 0
 		}},
 	}
-	var out AblationResult
-	for _, c := range cases {
-		run := func(cfg machine.RunConfig) float64 {
-			m := machineFor("A")
-			c.tweak(m)
-			m.Configure(cfg)
-			return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+	configs := 2 // 0 = OS default, 1 = tuned
+	cycles, err := core.Collect(runner, len(cases)*configs, func(i int) (float64, error) {
+		c := cases[i/configs]
+		var cfg machine.RunConfig
+		if i%configs == 0 {
+			cfg = machine.DefaultConfig(16)
+			cfg.Seed = 9
+		} else {
+			cfg = machine.TunedConfig(16)
 		}
-		def := machine.DefaultConfig(16)
-		def.Seed = 9
-		tuned := machine.TunedConfig(16)
-		d := run(def)
-		u := run(tuned)
+		m := machineFor("A")
+		c.tweak(m)
+		m.Configure(cfg)
+		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var out AblationResult
+	for i, c := range cases {
+		d, u := cycles[i*configs], cycles[i*configs+1]
 		out.Names = append(out.Names, c.name)
 		out.Default = append(out.Default, d)
 		out.Tuned = append(out.Tuned, u)
 		out.Gain = append(out.Gain, (d-u)/d)
 	}
-	return out
+	return out, nil
 }
 
 // Render renders the ablation table.
@@ -99,20 +108,25 @@ type PolicySensitivityResult struct {
 }
 
 // PolicySensitivity measures W1 under Preferred for every target node.
-func PolicySensitivity(s Scale) PolicySensitivityResult {
+func PolicySensitivity(s Scale) (PolicySensitivityResult, error) {
 	var out PolicySensitivityResult
-	m0 := machineFor("A")
-	for n := 0; n < m0.Spec.Topo.Nodes(); n++ {
+	nodes := machineFor("A").Spec.Topo.Nodes()
+	cycles, err := core.Collect(runner, nodes, func(n int) (float64, error) {
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Policy = vmm.Preferred
 		cfg.PreferredNode = topology.NodeID(n)
 		m.Configure(cfg)
-		res := runW1(m, s, datagen.MovingClusterDist)
-		out.Nodes = append(out.Nodes, n)
-		out.Cycles = append(out.Cycles, res.Result.WallCycles)
+		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return PolicySensitivityResult{}, err
 	}
-	return out
+	for n, c := range cycles {
+		out.Nodes = append(out.Nodes, n)
+		out.Cycles = append(out.Cycles, c)
+	}
+	return out, nil
 }
 
 // Render renders the sensitivity table.

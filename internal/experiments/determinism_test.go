@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/tpch"
+)
+
+// renderAll runs a driver and flattens its tables into one byte stream.
+func renderAll(t *testing.T, id string, s Scale) string {
+	t.Helper()
+	d, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabs, err := d(s)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var sb strings.Builder
+	for _, tab := range tabs {
+		tab.Render(&sb)
+		tab.RenderCSV(&sb)
+	}
+	return sb.String()
+}
+
+// resetCaches clears the dataset memo tables so each configuration's run
+// exercises its own cache fills.
+func resetCaches() {
+	datagen.ResetCache()
+	tpch.ResetGenCache()
+}
+
+// TestDriversDeterministicUnderParallelism is the tentpole guarantee:
+// every registered experiment renders byte-identical tables whether its
+// grid cells run serially, on four workers, or on four workers twice.
+func TestDriversDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every driver three times")
+	}
+	defer SetRunner(core.Runner{})
+	for _, id := range Ids() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			resetCaches()
+			SetRunner(core.Runner{Workers: 1})
+			serial := renderAll(t, id, Tiny)
+
+			resetCaches()
+			SetRunner(core.Runner{Workers: 4})
+			par := renderAll(t, id, Tiny)
+			if par != serial {
+				t.Fatalf("%s: parallel-4 output differs from serial\nserial:\n%s\nparallel:\n%s",
+					id, serial, par)
+			}
+
+			// Second parallel run without a cache reset: memoized datasets
+			// must not perturb results either.
+			SetRunner(core.Runner{Workers: 4})
+			again := renderAll(t, id, Tiny)
+			if again != par {
+				t.Fatalf("%s: two parallel-4 runs differ", id)
+			}
+		})
+	}
+}
+
+// TestRegistryCoversRenderables pins the registry's table counts so a
+// driver that silently drops a table is caught.
+func TestRegistryCoversRenderables(t *testing.T) {
+	SetRunner(core.Runner{Workers: 0})
+	defer SetRunner(core.Runner{})
+	want := map[string]int{
+		"fig2":      2, // time + overhead
+		"fig5a":     2, // cycles + LAR
+		"fig6w1":    3, // machines A, B, C
+		"fig6w2":    3,
+		"fig6w3":    3,
+		"fig7":      5, // 4 index kinds + scalability
+		"table2":    1,
+		"ablation":  1,
+		"preferred": 1,
+	}
+	for id, n := range want {
+		d, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabs, err := d(Tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tabs) != n {
+			t.Errorf("%s: got %d tables, want %d", id, len(tabs), n)
+		}
+		for i, tab := range tabs {
+			if tab == nil {
+				t.Errorf("%s: table %d is nil", id, i)
+			}
+		}
+	}
+}
+
+// TestLookupUnknown verifies id validation surfaces as an error, not a
+// panic, so numabench can exit cleanly on typos.
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("fig99"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if len(Ids()) != len(registry) {
+		t.Fatal("Ids() must list every registered experiment")
+	}
+}

@@ -7,11 +7,24 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/query"
 	"repro/internal/vmm"
 )
+
+// runner executes every driver's grid cells. Each cell builds a fresh,
+// fully isolated machine and derives its RNG streams from the cell's own
+// seed, so cells can run concurrently in any order while results stay
+// byte-identical to a serial run (assembly is always by cell index). The
+// default uses GOMAXPROCS workers; SetRunner overrides it (e.g. the
+// numabench -parallel flag, or core.Serial for a serial run).
+var runner = core.Runner{}
+
+// SetRunner replaces the worker pool used by all drivers. Not safe to call
+// concurrently with a running driver; set it up front.
+func SetRunner(r core.Runner) { runner = r }
 
 // Scale sizes every experiment. Tests use Tiny; the benchmark harness uses
 // Default, which is about 1/50 of the paper's datasets (cache ratios are
@@ -104,8 +117,10 @@ func baseConfig(threads int) machine.RunConfig {
 }
 
 // runW1 executes the holistic aggregation workload on a fresh machine.
+// The dataset is memoized: identical (dist, size, seed) requests across
+// grid cells share one read-only build.
 func runW1(m *machine.Machine, s Scale, dist datagen.Distribution) query.Outcome {
-	recs := datagen.Generate(dist, s.AggRecords, s.AggCardinality, 11)
+	recs := datagen.CachedGenerate(dist, s.AggRecords, s.AggCardinality, 11)
 	return query.Aggregate(m, query.AggregationSpec{
 		Records:     recs,
 		Cardinality: s.AggCardinality,
@@ -113,9 +128,10 @@ func runW1(m *machine.Machine, s Scale, dist datagen.Distribution) query.Outcome
 	})
 }
 
-// runW2 executes the distributive aggregation workload.
+// runW2 executes the distributive aggregation workload (Zipf e=0.5, as
+// Generate builds for ZipfDist).
 func runW2(m *machine.Machine, s Scale) query.Outcome {
-	recs := datagen.Zipfian(s.AggRecords, s.AggCardinality, 0.5, 13)
+	recs := datagen.CachedGenerate(datagen.ZipfDist, s.AggRecords, s.AggCardinality, 13)
 	return query.Aggregate(m, query.AggregationSpec{
 		Records:     recs,
 		Cardinality: s.AggCardinality,
@@ -125,5 +141,5 @@ func runW2(m *machine.Machine, s Scale) query.Outcome {
 
 // runW3 executes the hash join workload.
 func runW3(m *machine.Machine, s Scale) query.JoinOutcome {
-	return query.HashJoin(m, query.JoinSpec{Tables: datagen.Join(s.JoinR, datagen.DefaultJoinRatio, 17)})
+	return query.HashJoin(m, query.JoinSpec{Tables: datagen.CachedJoin(s.JoinR, datagen.DefaultJoinRatio, 17)})
 }

@@ -19,7 +19,10 @@ var calScale = func() Scale {
 }()
 
 func TestFig2Shapes(t *testing.T) {
-	r := Fig2(calScale)
+	r, err := Fig2(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 1: tcmalloc fastest single-threaded (within measurement noise
 	// of the runner-up), but degrades with threads.
 	for _, other := range []string{"ptmalloc", "jemalloc", "Hoard", "supermalloc"} {
@@ -53,7 +56,10 @@ func TestFig2Shapes(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	r := Fig3(calScale)
+	r, err := Fig3(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Relative) != calScale.Fig3Runs {
 		t.Fatalf("got %d runs", len(r.Relative))
 	}
@@ -79,7 +85,10 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	r := Table3(calScale)
+	r, err := Table3(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 4: pinning eliminates migrations, cuts cache misses and
 	// remote accesses, and raises LAR.
 	if r.Modified.ThreadMigrations != 0 {
@@ -100,7 +109,10 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	r := Fig4(calScale)
+	r, err := Fig4(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 5: Sparse wins below full subscription; ties at 16 threads.
 	for _, dist := range r.Datasets {
 		if r.Sparse[dist][0] >= r.Dense[dist][0] {
@@ -118,7 +130,10 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5aShape(t *testing.T) {
-	r := Fig5a(calScale)
+	r, err := Fig5a(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 6: AutoNUMA hurts; best overall is Interleave with it off.
 	ftIdx, ilIdx := 0, 1
 	// At this reduced scale the balancing tax is smaller than at full
@@ -145,7 +160,10 @@ func TestFig5aShape(t *testing.T) {
 }
 
 func TestFig5cShape(t *testing.T) {
-	r := Fig5c(calScale)
+	r, err := Fig5c(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	idx := map[string]int{}
 	for i, a := range r.Allocators {
 		idx[a] = i
@@ -167,7 +185,10 @@ func TestFig5cShape(t *testing.T) {
 }
 
 func TestFig5dShape(t *testing.T) {
-	r := Fig5d(calScale)
+	r, err := Fig5d(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 6 (cross-machine): disabling the daemons + Interleave helps on
 	// every machine; Machine A gains the most, Machine B the least.
 	gain := func(mc string) float64 {
@@ -185,7 +206,10 @@ func TestFig5dShape(t *testing.T) {
 }
 
 func TestFig6W1Shape(t *testing.T) {
-	r := Fig6W1(calScale, "A")
+	r, err := Fig6W1(calScale, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 8: tbbmalloc + Interleave is the winning cell; the gain over
 	// the ptmalloc default is substantial.
 	def := r.Cell("ptmalloc", vmm.FirstTouch)
@@ -203,7 +227,10 @@ func TestFig6W1Shape(t *testing.T) {
 }
 
 func TestFig6W2MostlyPlacement(t *testing.T) {
-	r := Fig6W2(calScale, "A")
+	r, err := Fig6W2(calScale, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 8 (W2): gains come from Interleave, not the allocator.
 	ptFT := r.Cell("ptmalloc", vmm.FirstTouch)
 	ptIL := r.Cell("ptmalloc", vmm.Interleave)
@@ -219,7 +246,10 @@ func TestFig6W2MostlyPlacement(t *testing.T) {
 }
 
 func TestFig6W3Shape(t *testing.T) {
-	r := Fig6W3(calScale, "A")
+	r, err := Fig6W3(calScale, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
 	def := r.Cell("ptmalloc", vmm.FirstTouch)
 	tbb := r.Cell("tbbmalloc", vmm.Interleave)
 	if (def-tbb)/def < 0.25 {
@@ -228,7 +258,10 @@ func TestFig6W3Shape(t *testing.T) {
 }
 
 func TestFig6jShape(t *testing.T) {
-	r := Fig6j(calScale)
+	r, err := Fig6j(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 9: tbbmalloc stays best across dataset distributions.
 	idx := map[string]int{}
 	for i, a := range r.Allocators {
@@ -242,7 +275,10 @@ func TestFig6jShape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	e := Fig7e(calScale)
+	e, err := Fig7e(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 10: ART and B+tree are the fastest indexes overall; the Skip
 	// List's join is the slowest.
 	join := map[index.Kind]float64{}
@@ -259,7 +295,10 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r := Fig8(calScale)
+	r, err := Fig8(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 11: every system gains on average; MySQL (single-threaded)
 	// gains less than MonetDB (fully parallel).
 	for _, sys := range r.Systems {
@@ -278,7 +317,10 @@ func TestFig8Shape(t *testing.T) {
 func TestFig9Shape(t *testing.T) {
 	s := calScale
 	s.TPCHSF = 0.005 // enough rows for the allocator effect to register
-	r := Fig9(s)
+	r, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Claim 12: tbbmalloc reduces MonetDB's Q18 latency vs ptmalloc (the
 	// paper reports -20%; our Q5 does not reproduce for per-thread-heap
 	// allocators — see EXPERIMENTS.md deviations).
@@ -293,7 +335,10 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r := Fig10(calScale)
+	r, err := Fig10(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.AdvisedCycles >= r.DefaultCycles {
 		t.Errorf("advised (%v) should beat default (%v)", r.AdvisedCycles, r.DefaultCycles)
 	}
@@ -327,7 +372,10 @@ func TestMachineForPanics(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	r := Ablate(calScale)
+	r, err := Ablate(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Names) < 5 {
 		t.Fatalf("only %d ablations ran", len(r.Names))
 	}
@@ -350,7 +398,10 @@ func TestAblationShape(t *testing.T) {
 }
 
 func TestPolicySensitivity(t *testing.T) {
-	r := PolicySensitivity(calScale)
+	r, err := PolicySensitivity(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Nodes) != 8 {
 		t.Fatalf("Machine A has 8 nodes, swept %d", len(r.Nodes))
 	}

@@ -23,7 +23,7 @@ type Fig10Result struct {
 
 // Fig10 runs W1 under the advised configuration, the OS default, and the
 // Figure 6 grid's best cell, on Machine A.
-func Fig10(s Scale) Fig10Result {
+func Fig10(s Scale) (Fig10Result, error) {
 	rec := core.Advise(core.Traits{
 		MemoryBandwidthBound: true,
 		SuperuserAccess:      true,
@@ -31,21 +31,26 @@ func Fig10(s Scale) Fig10Result {
 	})
 	out := Fig10Result{Recommendation: rec}
 
-	m := machineFor("A")
-	m.Configure(rec.Apply(16))
-	out.AdvisedCycles = runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+	cfgs := []machine.RunConfig{rec.Apply(16), machine.DefaultConfig(16)}
+	cfgs[1].Seed = 9
+	cycles, err := core.Collect(runner, len(cfgs), func(i int) (float64, error) {
+		m := machineFor("A")
+		m.Configure(cfgs[i])
+		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	out.AdvisedCycles, out.DefaultCycles = cycles[0], cycles[1]
 
-	m = machineFor("A")
-	def := machine.DefaultConfig(16)
-	def.Seed = 9
-	m.Configure(def)
-	out.DefaultCycles = runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
-
-	grid := Fig6W1(s, "A")
+	grid, err := Fig6W1(s, "A")
+	if err != nil {
+		return Fig10Result{}, err
+	}
 	bestAlloc, bestPol, bestCycles := grid.Best()
 	out.GridBest = bestAlloc + " + " + bestPol.String()
 	out.GridBestCycles = bestCycles
-	return out
+	return out, nil
 }
 
 // Render renders the flowchart validation.

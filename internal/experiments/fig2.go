@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
 )
@@ -23,21 +24,32 @@ type Fig2Result struct {
 // Fig2 runs the multi-threaded allocator microbenchmark: each thread
 // performs s.MicrobenchOps operations — allocate-and-write or
 // read-and-free — with allocation sizes distributed inversely proportional
-// to the size class, as in Section III-A8.
-func Fig2(s Scale) Fig2Result {
+// to the size class, as in Section III-A8. The allocator x thread-count
+// cells are independent (each builds a fresh Machine A) and dispatch
+// through the grid runner's worker pool.
+func Fig2(s Scale) (Fig2Result, error) {
+	names := alloc.Names()
+	type cell struct{ secs, over float64 }
+	cells, err := core.Collect(runner, len(names)*len(Fig2Threads), func(i int) (cell, error) {
+		name := names[i/len(Fig2Threads)]
+		threads := Fig2Threads[i%len(Fig2Threads)]
+		secs, over := microbench(name, threads, s.MicrobenchOps)
+		return cell{secs, over}, nil
+	})
+	if err != nil {
+		return Fig2Result{}, err
+	}
 	out := Fig2Result{
 		Threads:  Fig2Threads,
 		Seconds:  map[string][]float64{},
 		Overhead: map[string][]float64{},
 	}
-	for _, name := range alloc.Names() {
-		for _, threads := range Fig2Threads {
-			secs, over := microbench(name, threads, s.MicrobenchOps)
-			out.Seconds[name] = append(out.Seconds[name], secs)
-			out.Overhead[name] = append(out.Overhead[name], over)
-		}
+	for i, c := range cells {
+		name := names[i/len(Fig2Threads)]
+		out.Seconds[name] = append(out.Seconds[name], c.secs)
+		out.Overhead[name] = append(out.Overhead[name], c.over)
 	}
-	return out
+	return out, nil
 }
 
 // microbenchSizes returns the allocation-size menu with weights inversely
@@ -72,10 +84,14 @@ func microbench(allocName string, threads, ops int) (seconds, overhead float64) 
 	}
 	res := m.Run(threads, func(t *machine.Thread) {
 		type obj struct{ addr, size uint64 }
+		// FIFO free list as a head-indexed slice with periodic compaction:
+		// re-slicing the front (live = live[1:]) strands the backing array,
+		// which then grows O(ops) under append instead of O(maxLive).
 		var live []obj
+		head := 0
 		r := t.RNG()
 		for i := 0; i < ops; i++ {
-			if len(live) < maxLive && (len(live) == 0 || r.Bernoulli(0.6)) {
+			if len(live)-head < maxLive && (len(live) == head || r.Bernoulli(0.6)) {
 				u := r.Float64()
 				k := 0
 				for k < len(cum)-1 && u > cum[k] {
@@ -86,13 +102,17 @@ func microbench(allocName string, threads, ops int) (seconds, overhead float64) 
 				t.Write(addr, size)
 				live = append(live, obj{addr, size})
 			} else {
-				o := live[0]
-				live = live[1:]
+				o := live[head]
+				head++
+				if head >= maxLive { // live-count <= maxLive, so len(live) <= 2*maxLive here
+					live = append(live[:0], live[head:]...)
+					head = 0
+				}
 				t.Read(o.addr, o.size)
 				t.Free(o.addr, o.size)
 			}
 		}
-		for _, o := range live {
+		for _, o := range live[head:] {
 			t.Free(o.addr, o.size)
 		}
 	})

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -17,8 +18,9 @@ type Fig3Result struct {
 
 // Fig3 runs W1 once under Sparse affinity, then s.Fig3Runs times under the
 // OS scheduler (each run draws a fresh migration behaviour), reporting
-// runtimes relative to the affinitized run.
-func Fig3(s Scale) Fig3Result {
+// runtimes relative to the affinitized run. Cell 0 is the Sparse baseline;
+// the unaffinitized runs follow, each a fresh machine with its own seed.
+func Fig3(s Scale) (Fig3Result, error) {
 	mkMachine := func(place machine.Placement, seed uint64) *machine.Machine {
 		m := machine.NewA()
 		cfg := baseConfig(16)
@@ -27,13 +29,20 @@ func Fig3(s Scale) Fig3Result {
 		m.Configure(cfg)
 		return m
 	}
-	sparse := runW1(mkMachine(machine.PlaceSparse, 1), s, datagen.MovingClusterDist)
-	out := Fig3Result{SparseCycles: sparse.Result.WallCycles}
-	for run := 0; run < s.Fig3Runs; run++ {
-		res := runW1(mkMachine(machine.PlaceNone, uint64(100+run)), s, datagen.MovingClusterDist)
-		out.Relative = append(out.Relative, res.Result.WallCycles/out.SparseCycles)
+	cycles, err := core.Collect(runner, 1+s.Fig3Runs, func(i int) (float64, error) {
+		if i == 0 {
+			return runW1(mkMachine(machine.PlaceSparse, 1), s, datagen.MovingClusterDist).Result.WallCycles, nil
+		}
+		return runW1(mkMachine(machine.PlaceNone, uint64(100+i-1)), s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig3Result{}, err
 	}
-	return out
+	out := Fig3Result{SparseCycles: cycles[0]}
+	for _, c := range cycles[1:] {
+		out.Relative = append(out.Relative, c/out.SparseCycles)
+	}
+	return out, nil
 }
 
 // Render renders Figure 3.
@@ -58,21 +67,22 @@ type Table3Result struct {
 // Table3 profiles W1 on Machine A under the OS scheduler (a
 // migration-heavy draw, as the paper's default exhibited) and under the
 // Sparse policy.
-func Table3(s Scale) Table3Result {
-	profile := func(place machine.Placement) machine.Counters {
+func Table3(s Scale) (Table3Result, error) {
+	placements := []machine.Placement{machine.PlaceNone, machine.PlaceSparse}
+	profiles, err := core.Collect(runner, len(placements), func(i int) (machine.Counters, error) {
+		place := placements[i]
 		m := machine.NewA()
 		cfg := baseConfig(16)
 		cfg.Placement = place
 		cfg.AutoNUMA = place == machine.PlaceNone // OS default keeps balancing on
 		cfg.Seed = 104                            // a representative noisy draw
 		m.Configure(cfg)
-		out := runW1(m, s, datagen.MovingClusterDist)
-		return out.Result.Counters
+		return runW1(m, s, datagen.MovingClusterDist).Result.Counters, nil
+	})
+	if err != nil {
+		return Table3Result{}, err
 	}
-	return Table3Result{
-		Default:  profile(machine.PlaceNone),
-		Modified: profile(machine.PlaceSparse),
-	}
+	return Table3Result{Default: profiles[0], Modified: profiles[1]}, nil
 }
 
 // Render renders Table III with percent changes.
@@ -113,30 +123,37 @@ type Fig4Result struct {
 
 // Fig4 compares the Sparse and Dense affinitization strategies on W1
 // across datasets and thread counts.
-func Fig4(s Scale) Fig4Result {
+func Fig4(s Scale) (Fig4Result, error) {
 	out := Fig4Result{
 		Datasets: datagen.Distributions(),
 		Threads:  Fig4Threads,
 		Dense:    map[datagen.Distribution][]float64{},
 		Sparse:   map[datagen.Distribution][]float64{},
 	}
-	for _, dist := range out.Datasets {
-		for _, threads := range Fig4Threads {
-			for _, place := range []machine.Placement{machine.PlaceDense, machine.PlaceSparse} {
-				m := machine.NewA()
-				cfg := baseConfig(threads)
-				cfg.Placement = place
-				m.Configure(cfg)
-				res := runW1(m, s, dist)
-				if place == machine.PlaceDense {
-					out.Dense[dist] = append(out.Dense[dist], res.Result.WallCycles)
-				} else {
-					out.Sparse[dist] = append(out.Sparse[dist], res.Result.WallCycles)
-				}
-			}
+	places := []machine.Placement{machine.PlaceDense, machine.PlaceSparse}
+	nCells := len(out.Datasets) * len(Fig4Threads) * len(places)
+	cycles, err := core.Collect(runner, nCells, func(i int) (float64, error) {
+		dist := out.Datasets[i/(len(Fig4Threads)*len(places))]
+		threads := Fig4Threads[i/len(places)%len(Fig4Threads)]
+		place := places[i%len(places)]
+		m := machine.NewA()
+		cfg := baseConfig(threads)
+		cfg.Placement = place
+		m.Configure(cfg)
+		return runW1(m, s, dist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	for i, c := range cycles {
+		dist := out.Datasets[i/(len(Fig4Threads)*len(places))]
+		if places[i%len(places)] == machine.PlaceDense {
+			out.Dense[dist] = append(out.Dense[dist], c)
+		} else {
+			out.Sparse[dist] = append(out.Sparse[dist], c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Render renders Figure 4.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/report"
 	"repro/internal/vmm"
@@ -22,26 +23,34 @@ type Fig5aResult struct {
 }
 
 // Fig5a sweeps placement policy x AutoNUMA for W1 on Machine A.
-func Fig5a(s Scale) Fig5aResult {
+func Fig5a(s Scale) (Fig5aResult, error) {
 	out := Fig5aResult{Policies: fig5Policies}
-	for _, pol := range fig5Policies {
-		for _, auto := range []bool{true, false} {
-			m := machineFor("A")
-			cfg := baseConfig(16)
-			cfg.Policy = pol
-			cfg.AutoNUMA = auto
-			m.Configure(cfg)
-			res := runW1(m, s, datagen.MovingClusterDist)
-			if auto {
-				out.OnCycles = append(out.OnCycles, res.Result.WallCycles)
-				out.OnLAR = append(out.OnLAR, res.Result.Counters.LAR())
-			} else {
-				out.OffCycles = append(out.OffCycles, res.Result.WallCycles)
-				out.OffLAR = append(out.OffLAR, res.Result.Counters.LAR())
-			}
+	type cell struct {
+		cycles, lar float64
+	}
+	autos := []bool{true, false}
+	cells, err := core.Collect(runner, len(fig5Policies)*len(autos), func(i int) (cell, error) {
+		m := machineFor("A")
+		cfg := baseConfig(16)
+		cfg.Policy = fig5Policies[i/len(autos)]
+		cfg.AutoNUMA = autos[i%len(autos)]
+		m.Configure(cfg)
+		res := runW1(m, s, datagen.MovingClusterDist)
+		return cell{res.Result.WallCycles, res.Result.Counters.LAR()}, nil
+	})
+	if err != nil {
+		return Fig5aResult{}, err
+	}
+	for i, c := range cells {
+		if autos[i%len(autos)] {
+			out.OnCycles = append(out.OnCycles, c.cycles)
+			out.OnLAR = append(out.OnLAR, c.lar)
+		} else {
+			out.OffCycles = append(out.OffCycles, c.cycles)
+			out.OffLAR = append(out.OffLAR, c.lar)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Render renders Figure 5a (runtime).
@@ -77,24 +86,28 @@ type Fig5cResult struct {
 
 // Fig5c sweeps allocator x THP for W1 on Machine A (First Touch, AutoNUMA
 // off, as the paper isolates the hugepage mechanism).
-func Fig5c(s Scale) Fig5cResult {
+func Fig5c(s Scale) (Fig5cResult, error) {
 	out := Fig5cResult{Allocators: alloc.WorkloadNames()}
-	for _, name := range out.Allocators {
-		for _, thp := range []bool{false, true} {
-			m := machineFor("A")
-			cfg := baseConfig(16)
-			cfg.Allocator = name
-			cfg.THP = thp
-			m.Configure(cfg)
-			res := runW1(m, s, datagen.MovingClusterDist)
-			if thp {
-				out.On = append(out.On, res.Result.WallCycles)
-			} else {
-				out.Off = append(out.Off, res.Result.WallCycles)
-			}
+	thps := []bool{false, true}
+	cycles, err := core.Collect(runner, len(out.Allocators)*len(thps), func(i int) (float64, error) {
+		m := machineFor("A")
+		cfg := baseConfig(16)
+		cfg.Allocator = out.Allocators[i/len(thps)]
+		cfg.THP = thps[i%len(thps)]
+		m.Configure(cfg)
+		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig5cResult{}, err
+	}
+	for i, c := range cycles {
+		if thps[i%len(thps)] {
+			out.On = append(out.On, c)
+		} else {
+			out.Off = append(out.Off, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Render renders Figure 5c.
@@ -121,32 +134,37 @@ type Fig5dResult struct {
 
 // Fig5d sweeps {First Touch, Interleave, Localalloc} x {daemons on, off}
 // x {A, B, C} for W1.
-func Fig5d(s Scale) Fig5dResult {
+func Fig5d(s Scale) (Fig5dResult, error) {
 	out := Fig5dResult{
 		Machines: []string{"A", "B", "C"},
 		Policies: []vmm.Policy{vmm.FirstTouch, vmm.Interleave, vmm.Localalloc},
 		On:       map[string][]float64{},
 		Off:      map[string][]float64{},
 	}
-	for _, mc := range out.Machines {
-		for _, pol := range out.Policies {
-			for _, daemons := range []bool{true, false} {
-				m := machineFor(mc)
-				cfg := baseConfig(m.Spec.HardwareThreads())
-				cfg.Policy = pol
-				cfg.AutoNUMA = daemons
-				cfg.THP = daemons
-				m.Configure(cfg)
-				res := runW1(m, s, datagen.MovingClusterDist)
-				if daemons {
-					out.On[mc] = append(out.On[mc], res.Result.WallCycles)
-				} else {
-					out.Off[mc] = append(out.Off[mc], res.Result.WallCycles)
-				}
-			}
+	daemonsStates := []bool{true, false}
+	per := len(out.Policies) * len(daemonsStates)
+	cycles, err := core.Collect(runner, len(out.Machines)*per, func(i int) (float64, error) {
+		m := machineFor(out.Machines[i/per])
+		cfg := baseConfig(m.Spec.HardwareThreads())
+		cfg.Policy = out.Policies[i/len(daemonsStates)%len(out.Policies)]
+		daemons := daemonsStates[i%len(daemonsStates)]
+		cfg.AutoNUMA = daemons
+		cfg.THP = daemons
+		m.Configure(cfg)
+		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig5dResult{}, err
+	}
+	for i, c := range cycles {
+		mc := out.Machines[i/per]
+		if daemonsStates[i%len(daemonsStates)] {
+			out.On[mc] = append(out.On[mc], c)
+		} else {
+			out.Off[mc] = append(out.Off[mc], c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Render renders Figure 5d.

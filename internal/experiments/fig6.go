@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -23,35 +24,37 @@ type Fig6Result struct {
 }
 
 // sweepAllocPolicy runs the given workload for every allocator x policy
-// cell on a fresh machine.
-func sweepAllocPolicy(title, mc string, threads int, run func(m *machine.Machine) float64) Fig6Result {
+// cell, each on a fresh machine, dispatched through the grid runner.
+func sweepAllocPolicy(title, mc string, threads int, run func(m *machine.Machine) float64) (Fig6Result, error) {
 	out := Fig6Result{
 		Title:      title,
 		Machine:    mc,
 		Allocators: alloc.WorkloadNames(),
 		Policies:   fig6Policies,
 	}
-	for _, name := range out.Allocators {
-		var row []float64
-		for _, pol := range out.Policies {
-			m := machineFor(mc)
-			cfg := baseConfig(threads)
-			if threads <= 0 {
-				cfg.Threads = m.Spec.HardwareThreads()
-			}
-			cfg.Allocator = name
-			cfg.Policy = pol
-			m.Configure(cfg)
-			row = append(row, run(m))
+	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Policies), func(i int) (float64, error) {
+		m := machineFor(mc)
+		cfg := baseConfig(threads)
+		if threads <= 0 {
+			cfg.Threads = m.Spec.HardwareThreads()
 		}
-		out.Cycles = append(out.Cycles, row)
+		cfg.Allocator = out.Allocators[i/len(out.Policies)]
+		cfg.Policy = out.Policies[i%len(out.Policies)]
+		m.Configure(cfg)
+		return run(m), nil
+	})
+	if err != nil {
+		return Fig6Result{}, err
 	}
-	return out
+	for i := 0; i < len(out.Allocators); i++ {
+		out.Cycles = append(out.Cycles, cells[i*len(out.Policies):(i+1)*len(out.Policies)])
+	}
+	return out, nil
 }
 
 // Fig6W1 produces Figure 6a/6b/6c: W1 across allocators and policies on
 // the given machine ("A", "B" or "C").
-func Fig6W1(s Scale, mc string) Fig6Result {
+func Fig6W1(s Scale, mc string) (Fig6Result, error) {
 	return sweepAllocPolicy("Fig 6 W1 (holistic aggregation), Machine "+mc, mc, 0,
 		func(m *machine.Machine) float64 {
 			return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
@@ -59,7 +62,7 @@ func Fig6W1(s Scale, mc string) Fig6Result {
 }
 
 // Fig6W2 produces Figure 6d/6e/6f: W2 across allocators and policies.
-func Fig6W2(s Scale, mc string) Fig6Result {
+func Fig6W2(s Scale, mc string) (Fig6Result, error) {
 	return sweepAllocPolicy("Fig 6 W2 (distributive aggregation), Machine "+mc, mc, 0,
 		func(m *machine.Machine) float64 {
 			return runW2(m, s).Result.WallCycles
@@ -67,7 +70,7 @@ func Fig6W2(s Scale, mc string) Fig6Result {
 }
 
 // Fig6W3 produces Figure 6g/6h/6i: W3 across allocators and policies.
-func Fig6W3(s Scale, mc string) Fig6Result {
+func Fig6W3(s Scale, mc string) (Fig6Result, error) {
 	return sweepAllocPolicy("Fig 6 W3 (hash join), Machine "+mc, mc, 0,
 		func(m *machine.Machine) float64 {
 			return runW3(m, s).Result.WallCycles
@@ -129,21 +132,23 @@ type Fig6jResult struct {
 }
 
 // Fig6j varies the dataset distribution under each allocator.
-func Fig6j(s Scale) Fig6jResult {
+func Fig6j(s Scale) (Fig6jResult, error) {
 	out := Fig6jResult{Allocators: alloc.WorkloadNames(), Datasets: datagen.Distributions()}
-	for _, name := range out.Allocators {
-		var row []float64
-		for _, dist := range out.Datasets {
-			m := machineFor("A")
-			cfg := baseConfig(16)
-			cfg.Allocator = name
-			cfg.Policy = vmm.Interleave
-			m.Configure(cfg)
-			row = append(row, runW1(m, s, dist).Result.WallCycles)
-		}
-		out.Cycles = append(out.Cycles, row)
+	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Datasets), func(i int) (float64, error) {
+		m := machineFor("A")
+		cfg := baseConfig(16)
+		cfg.Allocator = out.Allocators[i/len(out.Datasets)]
+		cfg.Policy = vmm.Interleave
+		m.Configure(cfg)
+		return runW1(m, s, out.Datasets[i%len(out.Datasets)]).Result.WallCycles, nil
+	})
+	if err != nil {
+		return Fig6jResult{}, err
 	}
-	return out
+	for i := 0; i < len(out.Allocators); i++ {
+		out.Cycles = append(out.Cycles, cells[i*len(out.Datasets):(i+1)*len(out.Datasets)])
+	}
+	return out, nil
 }
 
 // Render renders Figure 6j.

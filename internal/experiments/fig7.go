@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
 	"repro/internal/query"
@@ -25,35 +26,44 @@ type Fig7Result struct {
 }
 
 // Fig7 sweeps one index kind over allocators x policies (W4, Machine A).
-func Fig7(s Scale, kind index.Kind) Fig7Result {
+func Fig7(s Scale, kind index.Kind) (Fig7Result, error) {
 	out := Fig7Result{
 		Kind:       kind,
 		Allocators: alloc.WorkloadNames(),
 		Policies:   fig6Policies,
 	}
-	tables := datagen.Join(s.JoinR, datagen.DefaultJoinRatio, 17)
-	bestTotal := 0.0
-	for _, name := range out.Allocators {
-		var row []float64
-		for _, pol := range out.Policies {
-			m := machineFor("A")
-			cfg := baseConfig(16)
-			cfg.Allocator = name
-			cfg.Policy = pol
-			m.Configure(cfg)
-			res := query.IndexJoin(m, kind, tables)
-			row = append(row, res.ProbeCycles)
-			total := res.BuildCycles + res.ProbeCycles
-			if bestTotal == 0 || total < bestTotal {
-				bestTotal = total
-				out.BestBuild = res.BuildCycles
-				out.BestJoin = res.ProbeCycles
-				out.BestAlloc = name
-			}
-		}
-		out.JoinCycles = append(out.JoinCycles, row)
+	tables := datagen.CachedJoin(s.JoinR, datagen.DefaultJoinRatio, 17)
+	type cell struct{ build, probe float64 }
+	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Policies), func(i int) (cell, error) {
+		m := machineFor("A")
+		cfg := baseConfig(16)
+		cfg.Allocator = out.Allocators[i/len(out.Policies)]
+		cfg.Policy = out.Policies[i%len(out.Policies)]
+		m.Configure(cfg)
+		res := query.IndexJoin(m, kind, tables)
+		return cell{res.BuildCycles, res.ProbeCycles}, nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
 	}
-	return out
+	// Best-cell selection walks the cells in sweep order (first win on
+	// ties), matching the serial implementation exactly.
+	bestTotal := 0.0
+	for i, c := range cells {
+		if i%len(out.Policies) == 0 {
+			out.JoinCycles = append(out.JoinCycles, nil)
+		}
+		row := len(out.JoinCycles) - 1
+		out.JoinCycles[row] = append(out.JoinCycles[row], c.probe)
+		total := c.build + c.probe
+		if bestTotal == 0 || total < bestTotal {
+			bestTotal = total
+			out.BestBuild = c.build
+			out.BestJoin = c.probe
+			out.BestAlloc = out.Allocators[i/len(out.Policies)]
+		}
+	}
+	return out, nil
 }
 
 // Render renders one Figure 7 grid (join times).
@@ -96,11 +106,26 @@ type Fig7eResult struct {
 }
 
 // Fig7e summarizes the four Fig7 grids into build/join at best config.
-func Fig7e(s Scale) Fig7eResult {
-	var out Fig7eResult
+// Each Fig7 grid already fans its cells out on the worker pool.
+func Fig7e(s Scale) (Fig7eResult, error) {
+	var grids []Fig7Result
 	for _, kind := range index.Kinds() {
-		g := Fig7(s, kind)
-		out.Kinds = append(out.Kinds, kind)
+		g, err := Fig7(s, kind)
+		if err != nil {
+			return Fig7eResult{}, err
+		}
+		grids = append(grids, g)
+	}
+	return Fig7eFromGrids(grids), nil
+}
+
+// Fig7eFromGrids builds Figure 7e from already-computed Fig7 grids,
+// letting callers that render both skip re-running every sweep (the grids
+// are deterministic, so the result is identical to Fig7e).
+func Fig7eFromGrids(grids []Fig7Result) Fig7eResult {
+	var out Fig7eResult
+	for _, g := range grids {
+		out.Kinds = append(out.Kinds, g.Kind)
 		out.Build = append(out.Build, g.BestBuild)
 		out.Join = append(out.Join, g.BestJoin)
 		out.Alloc = append(out.Alloc, g.BestAlloc)

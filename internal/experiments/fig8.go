@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/tpch"
@@ -36,35 +38,55 @@ type Fig8Result struct {
 }
 
 // Fig8 runs all 22 TPC-H queries on the five engine profiles under the OS
-// default and the tuned configuration, on Machine A.
-func Fig8(s Scale) Fig8Result {
-	db := tpch.Generate(s.TPCHSF, 41)
+// default and the tuned configuration, on Machine A. Cells are whole
+// harness runs (one engine under one configuration measuring all queries
+// in order): engine state persists across a harness's queries, so the
+// harness is the smallest boundary that keeps results identical to a
+// serial sweep. The database itself is built once and shared read-only.
+func Fig8(s Scale) (Fig8Result, error) {
+	db := tpch.GenerateCached(s.TPCHSF, 41)
+	profiles := tpch.Profiles()
+	type cell struct {
+		walls []float64
+		res   []tpch.QueryResult
+	}
+	configs := 2 // 0 = OS default, 1 = tuned
+	cells, err := core.Collect(runner, len(profiles)*configs, func(i int) (cell, error) {
+		prof := profiles[i/configs]
+		spec := machine.SpecA()
+		var cfg machine.RunConfig
+		if i%configs == 0 {
+			cfg = machine.DefaultConfig(spec.HardwareThreads())
+			cfg.Seed = 9
+		} else {
+			cfg = w5TunedConfig(spec.HardwareThreads(), prof.Name == "DBMSx")
+		}
+		h := tpch.NewHarness(spec, prof, cfg, db, s.WarmRuns)
+		walls, res := h.MeasureAll()
+		return cell{walls, res}, nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
 	out := Fig8Result{
 		Reduction:   map[string][]float64{},
 		DefaultWall: map[string][]float64{},
 		TunedWall:   map[string][]float64{},
 	}
-	for _, prof := range tpch.Profiles() {
+	for p, prof := range profiles {
 		out.Systems = append(out.Systems, prof.Name)
-		spec := machine.SpecA()
-		defCfg := machine.DefaultConfig(spec.HardwareThreads())
-		defCfg.Seed = 9
-		tuned := w5TunedConfig(spec.HardwareThreads(), prof.Name == "DBMSx")
-		defH := tpch.NewHarness(spec, prof, defCfg, db, s.WarmRuns)
-		tunedH := tpch.NewHarness(spec, prof, tuned, db, s.WarmRuns)
-		defWalls, defRes := defH.MeasureAll()
-		tunedWalls, tunedRes := tunedH.MeasureAll()
+		def, tuned := cells[p*configs], cells[p*configs+1]
 		for q := 0; q < tpch.NumQueries; q++ {
-			if defRes[q].Check != tunedRes[q].Check {
-				panic("experiments: query answers diverged between configs")
+			if def.res[q].Check != tuned.res[q].Check {
+				return Fig8Result{}, fmt.Errorf("experiments: %s Q%d answers diverged between configs", prof.Name, q+1)
 			}
 			out.Reduction[prof.Name] = append(out.Reduction[prof.Name],
-				(defWalls[q]-tunedWalls[q])/defWalls[q])
+				(def.walls[q]-tuned.walls[q])/def.walls[q])
 		}
-		out.DefaultWall[prof.Name] = defWalls
-		out.TunedWall[prof.Name] = tunedWalls
+		out.DefaultWall[prof.Name] = def.walls
+		out.TunedWall[prof.Name] = tuned.walls
 	}
-	return out
+	return out, nil
 }
 
 // Render renders Figure 8.
@@ -116,21 +138,30 @@ type Fig9Result struct {
 }
 
 // Fig9 varies the overriding allocator for MonetDB on queries 5 and 18.
-func Fig9(s Scale) Fig9Result {
-	db := tpch.Generate(s.TPCHSF, 41)
+// One cell per allocator: each builds its own harness and measures both
+// queries in order on it.
+func Fig9(s Scale) (Fig9Result, error) {
+	db := tpch.GenerateCached(s.TPCHSF, 41)
 	out := Fig9Result{Allocators: alloc.WorkloadNames()}
 	prof := tpch.ProfileByName("MonetDB")
-	for _, name := range out.Allocators {
+	type cell struct{ q5, q18 float64 }
+	cells, err := core.Collect(runner, len(out.Allocators), func(i int) (cell, error) {
 		spec := machine.SpecA()
 		cfg := w5TunedConfig(spec.HardwareThreads(), false)
-		cfg.Allocator = name
+		cfg.Allocator = out.Allocators[i]
 		h := tpch.NewHarness(spec, prof, cfg, db, s.WarmRuns)
 		q5, _ := h.Measure(5)
 		q18, _ := h.Measure(18)
-		out.Q5 = append(out.Q5, q5)
-		out.Q18 = append(out.Q18, q18)
+		return cell{q5, q18}, nil
+	})
+	if err != nil {
+		return Fig9Result{}, err
 	}
-	return out
+	for _, c := range cells {
+		out.Q5 = append(out.Q5, c.q5)
+		out.Q18 = append(out.Q18, c.q18)
+	}
+	return out, nil
 }
 
 // Render renders Figure 9 (millions of cycles: simulator-scale TPC-H

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/report"
+)
+
+// Driver runs one experiment id at a scale and returns its rendered
+// tables. Drivers report malformed sweeps and panicking grid cells as
+// errors instead of crashing the run.
+type Driver func(s Scale) ([]*report.Table, error)
+
+// registry maps experiment ids to drivers. Built once at package
+// initialization; treat as read-only.
+var registry = map[string]Driver{
+	"fig2": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig2(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.RenderTime(), r.RenderOverhead()}, nil
+	},
+	"fig3": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig3(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"table2": func(s Scale) ([]*report.Table, error) {
+		return []*report.Table{Table2()}, nil
+	},
+	"table3": func(s Scale) ([]*report.Table, error) {
+		r, err := Table3(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig4": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig4(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig5a": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig5a(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render(), r.RenderLAR()}, nil
+	},
+	"fig5c": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig5c(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig5d": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig5d(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig6w1": machineSweep(Fig6W1),
+	"fig6w2": machineSweep(Fig6W2),
+	"fig6w3": machineSweep(Fig6W3),
+	"fig6j": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig6j(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig7": func(s Scale) ([]*report.Table, error) {
+		// Render the four grids and derive Figure 7e from them instead of
+		// re-running every sweep: deterministic cells make the two
+		// byte-identical, at half the wall time.
+		var ts []*report.Table
+		var grids []Fig7Result
+		for _, k := range index.Kinds() {
+			r, err := Fig7(s, k)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, r.Render())
+			grids = append(grids, r)
+		}
+		return append(ts, Fig7eFromGrids(grids).Render()), nil
+	},
+	"fig8": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig8(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig9": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig9(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"fig10": func(s Scale) ([]*report.Table, error) {
+		r, err := Fig10(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"ablation": func(s Scale) ([]*report.Table, error) {
+		r, err := Ablate(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+	"preferred": func(s Scale) ([]*report.Table, error) {
+		r, err := PolicySensitivity(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Render()}, nil
+	},
+}
+
+// machineSweep adapts the per-machine Figure 6 drivers into a Driver that
+// renders the grid for Machines A, B and C.
+func machineSweep(fn func(s Scale, mc string) (Fig6Result, error)) Driver {
+	return func(s Scale) ([]*report.Table, error) {
+		var ts []*report.Table
+		for _, mc := range []string{"A", "B", "C"} {
+			r, err := fn(s, mc)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, r.Render())
+		}
+		return ts, nil
+	}
+}
+
+// Ids returns every experiment id in sorted order.
+func Ids() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup resolves an experiment id to its driver.
+func Lookup(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+	return d, nil
+}

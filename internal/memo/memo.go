@@ -1,0 +1,62 @@
+// Package memo provides a small concurrency-safe memoization table used to
+// share deterministically generated, read-only artifacts (datasets, TPC-H
+// databases) across experiment grid cells. Builders keyed by identical
+// inputs run exactly once even under concurrent lookups; every other caller
+// blocks until the first build finishes and then shares the result.
+//
+// Values handed out by a Table are shared: callers must treat them as
+// immutable. That holds for the simulator's datasets, which are read-only
+// after generation.
+package memo
+
+import "sync"
+
+// Table memoizes values of type V by comparable key K.
+type Table[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	hits    uint64
+	misses  uint64
+}
+
+type entry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Get returns the value for key, building it with build on first use. The
+// build for a given key runs exactly once; concurrent callers for the same
+// key wait for it rather than duplicating work.
+func (t *Table[K, V]) Get(key K, build func() V) V {
+	t.mu.Lock()
+	e, ok := t.entries[key]
+	if !ok {
+		if t.entries == nil {
+			t.entries = make(map[K]*entry[V])
+		}
+		e = &entry[V]{}
+		t.entries[key] = e
+		t.misses++
+	} else {
+		t.hits++
+	}
+	t.mu.Unlock()
+	e.once.Do(func() { e.v = build() })
+	return e.v
+}
+
+// Stats reports cache hits and misses so far.
+func (t *Table[K, V]) Stats() (hits, misses uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// Reset drops all cached entries and zeroes the stats, releasing the
+// memory they held.
+func (t *Table[K, V]) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+	t.hits, t.misses = 0, 0
+}

@@ -1,0 +1,73 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBuildsOnce(t *testing.T) {
+	var tab Table[int, int]
+	builds := 0
+	for i := 0; i < 5; i++ {
+		if v := tab.Get(7, func() int { builds++; return 49 }); v != 49 {
+			t.Fatalf("Get = %d, want 49", v)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("builder ran %d times, want 1", builds)
+	}
+	if hits, misses := tab.Stats(); hits != 4 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 4/1", hits, misses)
+	}
+}
+
+func TestGetDistinctKeys(t *testing.T) {
+	var tab Table[string, int]
+	a := tab.Get("a", func() int { return 1 })
+	b := tab.Get("b", func() int { return 2 })
+	if a != 1 || b != 2 {
+		t.Errorf("got %d, %d; want 1, 2", a, b)
+	}
+}
+
+func TestGetConcurrentSingleBuild(t *testing.T) {
+	var tab Table[int, []int]
+	var builds int64
+	var wg sync.WaitGroup
+	const callers = 32
+	results := make([][]int, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = tab.Get(1, func() []int {
+				atomic.AddInt64(&builds, 1)
+				return []int{1, 2, 3}
+			})
+		}(c)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("builder ran %d times under contention, want 1", builds)
+	}
+	for c := 1; c < callers; c++ {
+		if &results[c][0] != &results[0][0] {
+			t.Fatal("concurrent callers did not share the built value")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tab Table[int, int]
+	tab.Get(1, func() int { return 1 })
+	tab.Reset()
+	builds := 0
+	tab.Get(1, func() int { builds++; return 1 })
+	if builds != 1 {
+		t.Error("Reset should drop cached entries")
+	}
+	if hits, misses := tab.Stats(); hits != 0 || misses != 1 {
+		t.Errorf("stats after reset = %d/%d, want 0/1", hits, misses)
+	}
+}

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"sort"
+
 	"repro/internal/machine"
 )
 
@@ -162,10 +164,26 @@ func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
 		"partsupp": len(db.PartSupps),
 		"supplier": len(db.Suppliers),
 	}
+	// Load in sorted table/column order: map iteration order would vary the
+	// allocation sequence run to run, perturbing simulated addresses and
+	// breaking bit-for-bit reproducibility.
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	res := m.Run(1, func(t *machine.Thread) {
-		for name, rows := range counts {
+		for _, name := range names {
+			rows := counts[name]
+			widths := columnWidths[name]
+			cols := make([]string, 0, len(widths))
+			for col := range widths {
+				cols = append(cols, col)
+			}
+			sort.Strings(cols)
 			tm := &tableMem{rows: rows, colBase: map[string]uint64{}}
-			for col, w := range columnWidths[name] {
+			for _, col := range cols {
+				w := widths[col]
 				tm.rowWidth += w
 				if e.Prof.Columnar {
 					base := t.Malloc(uint64(rows) * w)

@@ -1,6 +1,9 @@
 package tpch
 
-import "repro/internal/xrand"
+import (
+	"repro/internal/memo"
+	"repro/internal/xrand"
+)
 
 // Base cardinalities at scale factor 1, per the TPC-H specification.
 const (
@@ -157,3 +160,25 @@ func scaled(base int, sf float64) int {
 	}
 	return n
 }
+
+// genKey identifies one generated database: TPC-H datasets are
+// deterministic in (sf, seed) and read-only once loaded, so identical
+// requests can share a single build.
+type genKey struct {
+	sf   float64
+	seed uint64
+}
+
+var genCache memo.Table[genKey, *DB]
+
+// GenerateCached is Generate memoized on (sf, seed): the experiment
+// drivers ask for the same database once per grid cell, and concurrent
+// cells on the grid runner's worker pool share one build instead of each
+// regenerating it. The returned DB is shared and must be treated as
+// immutable (the engines only read it).
+func GenerateCached(sf float64, seed uint64) *DB {
+	return genCache.Get(genKey{sf, seed}, func() *DB { return Generate(sf, seed) })
+}
+
+// ResetGenCache drops every cached database.
+func ResetGenCache() { genCache.Reset() }

@@ -25,6 +25,10 @@ func SplitMix64(state *uint64) uint64 {
 // valid; construct with New.
 type Rand struct {
 	s [4]uint64
+	// seed0 is the first state word as initialized by New, frozen so that
+	// Derive stays a function of the seed material alone, no matter how far
+	// the stream has advanced since construction.
+	seed0 uint64
 }
 
 // New returns a generator derived deterministically from seed. Distinct
@@ -40,13 +44,18 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+	r.seed0 = r.s[0]
 	return &r
 }
 
 // Derive returns a new generator whose stream is a deterministic function
-// of r's seed material and the given stream label. It does not perturb r.
+// of r's seed material and the given stream label. It does not perturb r,
+// and the result is independent of how many values r has produced: deriving
+// the same label from the same-seeded generator always yields the same
+// stream, which is what makes derived streams safe to hand out from code
+// whose own consumption order may change (e.g. parallel grid cells).
 func (r *Rand) Derive(label uint64) *Rand {
-	sm := r.s[0] ^ (label * 0xd1342543de82ef95)
+	sm := r.seed0 ^ (label * 0xd1342543de82ef95)
 	return New(SplitMix64(&sm))
 }
 

@@ -41,6 +41,42 @@ func TestDeriveIndependent(t *testing.T) {
 	}
 }
 
+func TestDerivePositionIndependent(t *testing.T) {
+	// Regression test: Derive's contract is that the derived stream is a
+	// function of the parent's *seed material* and the label only. The old
+	// implementation read the parent's live state word, so deriving after
+	// consuming values silently produced a different stream — which would
+	// break reproducibility as soon as consumption order changed (e.g.
+	// cells running in nondeterministic order on a worker pool).
+	fresh := New(7)
+	want := fresh.Derive(42)
+
+	advanced := New(7)
+	for i := 0; i < 1000; i++ {
+		advanced.Uint64()
+	}
+	advanced.Float64()
+	advanced.Intn(17)
+	got := advanced.Derive(42)
+
+	for i := 0; i < 1000; i++ {
+		if w, g := want.Uint64(), got.Uint64(); w != g {
+			t.Fatalf("derived stream depends on parent position: diverged at step %d (%d vs %d)", i, w, g)
+		}
+	}
+}
+
+func TestDeriveDoesNotPerturbParent(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Derive(1)
+	a.Derive(2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Derive perturbed the parent stream at step %d", i)
+		}
+	}
+}
+
 func TestUint64nBounds(t *testing.T) {
 	r := New(3)
 	f := func(n uint64) bool {
