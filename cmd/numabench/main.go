@@ -8,7 +8,18 @@
 //	numabench -experiment fig2,fig3,fig4 -scale tiny
 //	numabench -experiment all -scale default -csv
 //	numabench -experiment all -scale cal -parallel 4
+//	numabench -experiment fig2 -scale tiny -json results.jsonl
+//	numabench -experiment fig5a -scale tiny -trace trace.json
+//	numabench -validate results.jsonl
 //	numabench -list
+//
+// -json appends one JSONL record per grid cell (schema repro/bench/v1;
+// see internal/experiments.SchemaVersion). -trace additionally records
+// every simulator event — thread migrations, page faults and migrations,
+// hugepage collapses and splits, AutoNUMA scans, allocator stalls,
+// coherence transfers — and writes a Chrome trace-event file loadable in
+// Perfetto. Both are byte-identical for a fixed seed at any -parallel
+// setting, except the host_ns field of JSONL records.
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func scales() map[string]experiments.Scale {
@@ -33,20 +45,38 @@ func scales() map[string]experiments.Scale {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "", "comma-separated experiment ids (see -list) or 'all'")
-		scale    = flag.String("scale", "small", "dataset scale: tiny, small, cal or default")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		showTime = flag.Bool("time", true, "print per-experiment elapsed wall time")
-		parallel = flag.Int("parallel", 1, "grid worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
-		progress = flag.Bool("progress", false, "report grid cell progress on stderr")
+		exp       = flag.String("experiment", "", "comma-separated experiment ids (see -list) or 'all'")
+		scale     = flag.String("scale", "small", "dataset scale: tiny, small, cal or default")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list      = flag.Bool("list", false, "list experiments (id, artifact, title) and exit")
+		showTime  = flag.Bool("time", true, "print per-experiment elapsed wall time")
+		parallel  = flag.Int("parallel", 1, "grid worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
+		progress  = flag.Bool("progress", false, "report grid cell progress on stderr")
+		jsonPath  = flag.String("json", "", "append one JSONL record per grid cell to this file")
+		tracePath = flag.String("trace", "", "record per-cell event traces and write a Chrome trace-event file")
+		validate  = flag.String("validate", "", "validate a JSONL results file against the schema and exit")
 	)
 	flag.Parse()
 
-	ids := experiments.Ids()
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := experiments.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d records, schema %s\n", *validate, len(recs), experiments.SchemaVersion)
+		return
+	}
+
 	if *list {
-		for _, id := range ids {
-			fmt.Println(id)
+		for _, d := range experiments.Descriptors() {
+			fmt.Printf("%-12s %-18s %s\n", d.Id, d.Artifact, d.Title)
 		}
 		return
 	}
@@ -61,7 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "numabench: -experiment required (or -list)")
 		os.Exit(2)
 	case "all":
-		todo = ids
+		todo = experiments.Ids()
 	default:
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
@@ -79,24 +109,40 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.OpenFile(*jsonPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonFile = f
+	}
+	if *tracePath != "" {
+		experiments.SetCellTracing(true)
+	}
+	var traced []report.TraceProcess
+
 	for _, id := range todo {
 		r := core.Runner{Workers: *parallel}
 		if *progress {
 			r.Progress = core.ProgressWriter(os.Stderr, id, 0)
 		}
 		experiments.SetRunner(r)
-		driver, err := experiments.Lookup(id)
+		d, err := experiments.Lookup(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
 			os.Exit(2)
 		}
 		start := time.Now()
-		tables, err := driver(s)
+		res, err := d.Run(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		for _, tab := range tables {
+		for _, tab := range res.Tables {
 			if *csv {
 				tab.RenderCSV(os.Stdout)
 			} else {
@@ -104,8 +150,43 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if jsonFile != nil {
+			if err := experiments.WriteJSONL(jsonFile, res.Records); err != nil {
+				fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+		}
+		if *tracePath != "" {
+			for i := range res.Records {
+				rec := &res.Records[i]
+				if ev := rec.TraceEvents(); len(ev) > 0 {
+					traced = append(traced, report.TraceProcess{
+						Name:    res.Id + "/" + rec.Cell,
+						FreqGHz: rec.FreqGHz,
+						Events:  ev,
+					})
+				}
+			}
+		}
 		if *showTime {
 			fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
+		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.ChromeTrace(f, traced...); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *tracePath, err)
+			os.Exit(1)
 		}
 	}
 }

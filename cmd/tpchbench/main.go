@@ -14,6 +14,12 @@
 //	tpchbench -sf 0.005                       # Figure 8 on all engines
 //	tpchbench -sf 0.005 -parallel 4           # same tables, less wall time
 //	tpchbench -sf 0.005 -engine MonetDB -q 5,18 -allocators
+//	tpchbench -sf 0.005 -json results.jsonl   # one record per harness run
+//
+// -json appends one structured record per harness run (schema
+// repro/bench/v1, same layout as numabench -json; validate with
+// numabench -validate). Per-query wall cycles land in the record's extra
+// map as q1..q22.
 package main
 
 import (
@@ -22,14 +28,66 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/tpch"
 	"repro/internal/vmm"
 )
+
+// harnessRecord builds the JSONL record for one completed harness run.
+// The harness machine is read after all queries, so counters cover the
+// whole run; wall is the sum of the measured query walls.
+func harnessRecord(start time.Time, cell string, labels map[string]string,
+	h *tpch.Harness, cfg machine.RunConfig, queries []int, walls []float64) experiments.Record {
+	m := h.Engine.M
+	wall := 0.0
+	extra := make(map[string]float64, len(queries))
+	for i, q := range queries {
+		wall += walls[i]
+		extra["q"+strconv.Itoa(q)] = walls[i]
+	}
+	return experiments.Record{
+		Schema:     experiments.SchemaVersion,
+		Experiment: "tpchbench",
+		Cell:       cell,
+		Labels:     labels,
+		Machine:    m.Spec.Name,
+		Config: experiments.CellConfig{
+			Threads:       cfg.Threads,
+			Placement:     cfg.Placement.String(),
+			Policy:        cfg.Policy.String(),
+			PreferredNode: int(cfg.PreferredNode),
+			Allocator:     cfg.Allocator,
+			AutoNUMA:      cfg.AutoNUMA,
+			THP:           cfg.THP,
+			Seed:          cfg.Seed,
+		},
+		Seed:       cfg.Seed,
+		WallCycles: wall,
+		FreqGHz:    m.Spec.FreqGHz,
+		Counters:   m.Counters(),
+		Extra:      extra,
+		HostNS:     time.Since(start).Nanoseconds(),
+	}
+}
+
+// appendJSONL appends records to path, creating it if needed.
+func appendJSONL(path string, recs []experiments.Record) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
@@ -40,6 +98,7 @@ func main() {
 	seed := flag.Uint64("seed", 41, "dataset seed")
 	parallel := flag.Int("parallel", 1, "harness worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
 	progress := flag.Bool("progress", false, "report harness progress on stderr")
+	jsonPath := flag.String("json", "", "append one JSONL record per harness run to this file")
 	flag.Parse()
 
 	queries, err := parseQueries(*queriesFlag)
@@ -60,7 +119,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench: -allocators requires -engine")
 			os.Exit(2)
 		}
-		if err := sweepAllocators(runner, db, *engine, queries, *warm); err != nil {
+		if err := sweepAllocators(runner, db, *engine, queries, *warm, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "tpchbench:", err)
 			os.Exit(1)
 		}
@@ -80,12 +139,19 @@ func main() {
 	// One cell per (profile, config): a harness caches engine state across
 	// queries, so the harness run is the unit of parallelism.
 	const configs = 2 // 0 = OS default, 1 = tuned
-	walls, err := core.Collect(runner, len(profiles)*configs, func(i int) ([]float64, error) {
+	type cell struct {
+		walls []float64
+		rec   experiments.Record
+	}
+	cells, err := core.Collect(runner, len(profiles)*configs, func(i int) (cell, error) {
+		start := time.Now()
 		p := profiles[i/configs]
 		var cfg machine.RunConfig
+		which := "tuned"
 		if i%configs == 0 {
 			cfg = machine.DefaultConfig(spec.HardwareThreads())
 			cfg.Seed = 9
+			which = "default"
 		} else {
 			cfg = machine.RunConfig{
 				Threads:   spec.HardwareThreads(),
@@ -102,25 +168,37 @@ func main() {
 			w, _ := h.Measure(q)
 			out = append(out, w)
 		}
-		return out, nil
+		return cell{out, harnessRecord(start, p.Name+"/"+which,
+			map[string]string{"engine": p.Name, "config": which},
+			h, cfg, queries, out)}, nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpchbench:", err)
 		os.Exit(1)
 	}
 	for qi, q := range queries {
-		cells := []interface{}{"Q" + strconv.Itoa(q)}
+		row := []any{"Q" + strconv.Itoa(q)}
 		for pi := range profiles {
-			d := walls[pi*configs][qi]
-			u := walls[pi*configs+1][qi]
-			cells = append(cells, report.Pct((d-u)/d))
+			d := cells[pi*configs].walls[qi]
+			u := cells[pi*configs+1].walls[qi]
+			row = append(row, report.Pct((d-u)/d))
 		}
-		tab.AddRow(cells...)
+		tab.AddRow(row...)
 	}
 	tab.Render(os.Stdout)
+	if *jsonPath != "" {
+		recs := make([]experiments.Record, len(cells))
+		for i := range cells {
+			recs[i] = cells[i].rec
+		}
+		if err := appendJSONL(*jsonPath, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "tpchbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int) error {
+func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int, jsonPath string) error {
 	prof := tpch.ProfileByName(engine)
 	spec := machine.SpecA()
 	tab := &report.Table{Title: engine + " query latency by allocator (billion cycles)"}
@@ -129,7 +207,12 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 		tab.Header = append(tab.Header, "Q"+strconv.Itoa(q))
 	}
 	names := alloc.WorkloadNames()
-	walls, err := core.Collect(runner, len(names), func(i int) ([]float64, error) {
+	type cell struct {
+		walls []float64
+		rec   experiments.Record
+	}
+	cells, err := core.Collect(runner, len(names), func(i int) (cell, error) {
+		start := time.Now()
 		cfg := machine.RunConfig{
 			Threads:   spec.HardwareThreads(),
 			Placement: machine.PlaceSparse,
@@ -143,19 +226,28 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 			w, _ := h.Measure(q)
 			out = append(out, w)
 		}
-		return out, nil
+		return cell{out, harnessRecord(start, prof.Name+"/"+names[i],
+			map[string]string{"engine": prof.Name, "allocator": names[i]},
+			h, cfg, queries, out)}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i, name := range names {
-		cells := []interface{}{name}
+		row := []any{name}
 		for qi := range queries {
-			cells = append(cells, report.Billions(walls[i][qi]))
+			row = append(row, report.Billions(cells[i].walls[qi]))
 		}
-		tab.AddRow(cells...)
+		tab.AddRow(row...)
 	}
 	tab.Render(os.Stdout)
+	if jsonPath != "" {
+		recs := make([]experiments.Record, len(cells))
+		for i := range cells {
+			recs[i] = cells[i].rec
+		}
+		return appendJSONL(jsonPath, recs)
+	}
 	return nil
 }
 

@@ -1,0 +1,64 @@
+// Trace: attach a cycle-stamped event recorder to Machine A, run the
+// holistic aggregation workload (W1) with the AutoNUMA and THP daemons
+// on, and inspect what the simulator did — event counts and cost
+// histograms on stdout, plus a Chrome trace-event file loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	const (
+		records     = 300_000
+		cardinality = 40_000
+		threads     = 16
+	)
+
+	m := repro.NewMachineA()
+	cfg := repro.DefaultConfig(threads) // daemons on: the eventful config
+	m.Configure(cfg)
+
+	// A recorder captures every simulator event: thread migrations, page
+	// faults and migrations, hugepage collapses and splits, AutoNUMA scan
+	// passes, allocator lock-contention stalls, coherence transfers.
+	// Machines without a sink skip all of this at zero cost.
+	rec := repro.NewTraceRecorder()
+	m.SetTrace(rec)
+	m.StartSnapshots(100_000) // periodic counter samples, every 100k cycles
+
+	out := repro.Aggregate(m, repro.AggregationSpec{
+		Records:     repro.MovingCluster(records, cardinality, 1),
+		Cardinality: cardinality,
+		Holistic:    true,
+	})
+	fmt.Printf("W1 on Machine A: %.3f billion cycles, %d events, %d snapshots\n\n",
+		out.Result.WallCycles/1e9, rec.Len(), len(m.Snapshots()))
+
+	// Aggregate views: events per kind, and a cost histogram.
+	repro.TraceSummary(rec.Events).Render(os.Stdout)
+	fmt.Println()
+	repro.TraceCostHistogram(rec.Events).Render(os.Stdout)
+
+	// Full timeline for Perfetto: one process per machine, one track per
+	// simulated thread (track 0 carries the kernel daemons).
+	f, err := os.Create("trace.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := repro.ChromeTrace(f, repro.TraceProcess{
+		Name:    m.Spec.Name,
+		FreqGHz: m.Spec.FreqGHz,
+		Events:  rec.Events,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nwrote trace.json (load in Perfetto or chrome://tracing)")
+}

@@ -56,7 +56,7 @@ func (a *hoard) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 	a.importTick++
 	if a.importTick%hoardImportEvery == 0 {
 		cost += 60 + a.globalWait
-		a.stats.LockWaitCycles += a.globalWait
+		a.lockWait(a.globalWait)
 	}
 	return addr, cost
 }

@@ -55,7 +55,7 @@ func (a *jemalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 		return addr, 25
 	}
 	a.stats.SlowPaths++
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	addr, src := a.arenas[t.ID()%len(a.arenas)].alloc(c, t.Node())
 	cost := 25 + 110 + a.wait
 	switch src {
@@ -82,7 +82,7 @@ func (a *jemalloc) Free(t ThreadInfo, addr, size uint64) float64 {
 		}
 		a.arenas[home].put(c, addr)
 		cost = 30 + 110 + a.wait
-		a.stats.LockWaitCycles += a.wait
+		a.lockWait(a.wait)
 	}
 	if a.purge.maybePurge(addr >> 12) {
 		// Decay purge: return the object's page to the OS. Splits any

@@ -53,7 +53,7 @@ func (a *mcmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 	// Fresh slab: one batched kernel request covers many future
 	// allocations, the design's whole point.
 	a.stats.SlowPaths++
-	a.stats.LockWaitCycles += a.globalWait
+	a.lockWait(a.globalWait)
 	return addr, 20 + 45 + 2600 + a.globalWait
 }
 

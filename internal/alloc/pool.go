@@ -164,9 +164,25 @@ func (tc *tcache) put(c int, addr uint64) bool {
 
 // base carries the bookkeeping every allocator model shares.
 type base struct {
-	env     Env
-	threads int
-	stats   Stats
+	env        Env
+	threads    int
+	stats      Stats
+	onLockWait func(w float64)
+}
+
+// SetLockWaitHook installs a callback invoked with every lock-contention
+// wait the model charges (the machine layer uses it to emit AllocStall
+// trace events). Promoted to every allocator through embedding; a nil hook
+// costs nothing.
+func (b *base) SetLockWaitHook(fn func(w float64)) { b.onLockWait = fn }
+
+// lockWait records an expected lock-contention wait: it accumulates into
+// the run's Stats and feeds the hook when one is attached.
+func (b *base) lockWait(w float64) {
+	b.stats.LockWaitCycles += w
+	if b.onLockWait != nil && w > 0 {
+		b.onLockWait(w)
+	}
 }
 
 func (b *base) Attach(env Env, threads int) {

@@ -48,7 +48,7 @@ func (a *ptmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 	if size > LargeThreshold {
 		// mmap path: syscall plus brk/mmap lock shared by everyone.
 		w := contendedWait(a.threads, 60)
-		a.stats.LockWaitCycles += w
+		a.lockWait(w)
 		return a.largeAlloc(size, t.Node()), 450 + w
 	}
 	c := classFor(size)
@@ -56,7 +56,7 @@ func (a *ptmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 		return addr, 30
 	}
 	a.stats.SlowPaths++
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	addr, src := a.arenas[t.ID()%len(a.arenas)].alloc(c, t.Node())
 	cost := 30 + 160 + a.wait
 	switch src {
@@ -80,7 +80,7 @@ func (a *ptmalloc) Free(t ThreadInfo, addr, size uint64) float64 {
 	}
 	// Bin full: the chunk goes back to the arena that owns the address;
 	// cross-thread frees contend on the same mutex.
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	a.arenas[t.ID()%len(a.arenas)].put(c, addr)
 	return 40 + 160 + a.wait
 }

@@ -34,7 +34,7 @@ func (a *supermalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 		return a.largeAlloc(size, t.Node()), 420
 	}
 	a.stats.SlowPaths++
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	addr, src := a.chunks.alloc(classFor(size), t.Node())
 	cost := 35 + 130 + a.wait // prefetch-while-waiting keeps the CS short
 	switch src {
@@ -52,7 +52,7 @@ func (a *supermalloc) Free(t ThreadInfo, addr, size uint64) float64 {
 		a.largeFree(addr, size)
 		return 340
 	}
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	a.chunks.put(classFor(size), addr)
 	return 35 + 110 + a.wait
 }

@@ -45,7 +45,7 @@ func (a *tcmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 	if size > LargeThreshold {
 		// Large spans come from the page heap, one global lock.
 		w := contendedWait(a.threads, 150)
-		a.stats.LockWaitCycles += w
+		a.lockWait(w)
 		return a.largeAlloc(size, t.Node()), 420 + w
 	}
 	c := classFor(size)
@@ -56,7 +56,7 @@ func (a *tcmalloc) Malloc(t ThreadInfo, size uint64) (uint64, float64) {
 	// Refill: take a batch from the central list under its lock; one
 	// object is returned, the rest prime the cache.
 	a.stats.SlowPaths++
-	a.stats.LockWaitCycles += a.wait
+	a.lockWait(a.wait)
 	addr, src := a.central.alloc(c, t.Node())
 	cost := 15 + 200 + a.wait + float64(tcmallocBatch)*12
 	if src == srcNewSlab {
@@ -92,7 +92,7 @@ func (a *tcmalloc) Free(t ThreadInfo, addr, size uint64) float64 {
 			a.central.put(c, extra)
 		}
 		cost = 18 + 200 + a.wait + float64(tcmallocBatch)*10
-		a.stats.LockWaitCycles += a.wait
+		a.lockWait(a.wait)
 	}
 	if a.purge.maybePurge(addr >> 12) {
 		a.env.UnmapRange(addr&^uint64(vmm.PageSize-1), vmm.PageSize)

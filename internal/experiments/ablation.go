@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"strconv"
+
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/machine"
@@ -19,6 +21,7 @@ type AblationResult struct {
 	Default []float64 // OS-default configuration wall cycles
 	Tuned   []float64 // tuned configuration wall cycles
 	Gain    []float64 // (default-tuned)/default under the ablation
+	Records []Record
 }
 
 // ablation is one modified machine construction.
@@ -57,26 +60,38 @@ func Ablate(s Scale) (AblationResult, error) {
 		}},
 	}
 	configs := 2 // 0 = OS default, 1 = tuned
-	cycles, err := core.Collect(runner, len(cases)*configs, func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(cases)*configs, func(i int) (cell, error) {
+		start := startCell()
 		c := cases[i/configs]
 		var cfg machine.RunConfig
+		which := "tuned"
 		if i%configs == 0 {
 			cfg = machine.DefaultConfig(16)
 			cfg.Seed = 9
+			which = "default"
 		} else {
 			cfg = machine.TunedConfig(16)
 		}
 		m := machineFor("A")
 		c.tweak(m)
 		m.Configure(cfg)
-		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		return cell{w, finishCell(start, c.name+"/"+which,
+			map[string]string{"variant": c.name, "config": which}, m, w)}, nil
 	})
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var out AblationResult
+	for _, c := range cells {
+		out.Records = append(out.Records, c.rec)
+	}
 	for i, c := range cases {
-		d, u := cycles[i*configs], cycles[i*configs+1]
+		d, u := cells[i*configs].cycles, cells[i*configs+1].cycles
 		out.Names = append(out.Names, c.name)
 		out.Default = append(out.Default, d)
 		out.Tuned = append(out.Tuned, u)
@@ -103,28 +118,37 @@ func (r AblationResult) Render() *report.Table {
 // paper's policy set with a question it raises but does not answer: does
 // it matter *which* node Preferred picks?
 type PolicySensitivityResult struct {
-	Nodes  []int
-	Cycles []float64
+	Nodes   []int
+	Cycles  []float64
+	Records []Record
 }
 
 // PolicySensitivity measures W1 under Preferred for every target node.
 func PolicySensitivity(s Scale) (PolicySensitivityResult, error) {
 	var out PolicySensitivityResult
 	nodes := machineFor("A").Spec.Topo.Nodes()
-	cycles, err := core.Collect(runner, nodes, func(n int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, nodes, func(n int) (cell, error) {
+		start := startCell()
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Policy = vmm.Preferred
 		cfg.PreferredNode = topology.NodeID(n)
 		m.Configure(cfg)
-		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		return cell{w, finishCell(start, "node"+strconv.Itoa(n),
+			map[string]string{"preferred_node": strconv.Itoa(n)}, m, w)}, nil
 	})
 	if err != nil {
 		return PolicySensitivityResult{}, err
 	}
-	for n, c := range cycles {
+	for n, c := range cells {
 		out.Nodes = append(out.Nodes, n)
-		out.Cycles = append(out.Cycles, c)
+		out.Cycles = append(out.Cycles, c.cycles)
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/report"
 	"repro/internal/tpch"
 )
 
@@ -16,12 +18,12 @@ func renderAll(t *testing.T, id string, s Scale) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tabs, err := d(s)
+	res, err := d.Run(s)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	var sb strings.Builder
-	for _, tab := range tabs {
+	for _, tab := range res.Tables {
 		tab.Render(&sb)
 		tab.RenderCSV(&sb)
 	}
@@ -69,38 +71,214 @@ func TestDriversDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// traceArtifacts runs fig5a with cell tracing on and returns the Chrome
+// trace export plus the JSONL stream with host_ns normalized to zero —
+// every byte that should be reproducible.
+func traceArtifacts(t *testing.T) (chrome, jsonl []byte) {
+	t.Helper()
+	resetCaches()
+	d, err := Lookup("fig5a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs []report.TraceProcess
+	for i := range res.Records {
+		rec := &res.Records[i]
+		ev := rec.TraceEvents()
+		if len(ev) == 0 {
+			t.Fatalf("cell %s recorded no events under SetCellTracing", rec.Cell)
+		}
+		procs = append(procs, report.TraceProcess{
+			Name: res.Id + "/" + rec.Cell, FreqGHz: rec.FreqGHz, Events: ev,
+		})
+		rec.HostNS = 0 // the one nondeterministic field
+	}
+	var cb, jb bytes.Buffer
+	if err := report.ChromeTrace(&cb, procs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jb, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestTraceDeterministicUnderParallelism extends the byte-identity
+// guarantee to the new artifacts: the Chrome trace export and the JSONL
+// records (host_ns normalized) must not depend on the worker count.
+func TestTraceDeterministicUnderParallelism(t *testing.T) {
+	SetCellTracing(true)
+	defer SetCellTracing(false)
+	defer SetRunner(core.Runner{})
+
+	SetRunner(core.Runner{Workers: 1})
+	chromeSerial, jsonlSerial := traceArtifacts(t)
+	if len(chromeSerial) == 0 || len(jsonlSerial) == 0 {
+		t.Fatal("empty trace artifacts")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	chromePar, jsonlPar := traceArtifacts(t)
+	if !bytes.Equal(chromeSerial, chromePar) {
+		t.Error("Chrome trace differs between serial and parallel-4 runs")
+	}
+	if !bytes.Equal(jsonlSerial, jsonlPar) {
+		t.Error("JSONL records differ between serial and parallel-4 runs")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	chromeAgain, jsonlAgain := traceArtifacts(t)
+	if !bytes.Equal(chromePar, chromeAgain) {
+		t.Error("Chrome trace differs between two parallel-4 runs")
+	}
+	if !bytes.Equal(jsonlPar, jsonlAgain) {
+		t.Error("JSONL records differ between two parallel-4 runs")
+	}
+}
+
+// TestJSONLRoundTrip pushes real records through the writer and the
+// strict reader: the round-trip must preserve every serialized field.
+func TestJSONLRoundTrip(t *testing.T) {
+	SetRunner(core.Runner{Workers: 0})
+	defer SetRunner(core.Runner{})
+	resetCaches()
+	d, err := Lookup("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("fig3 produced no records")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Records) {
+		t.Fatalf("round-trip: got %d records, want %d", len(got), len(res.Records))
+	}
+	for i := range got {
+		want := res.Records[i]
+		if got[i].Schema != SchemaVersion {
+			t.Errorf("record %d: schema %q", i, got[i].Schema)
+		}
+		if got[i].Experiment != want.Experiment || got[i].Cell != want.Cell {
+			t.Errorf("record %d: identity %s/%s, want %s/%s",
+				i, got[i].Experiment, got[i].Cell, want.Experiment, want.Cell)
+		}
+		if got[i].WallCycles != want.WallCycles {
+			t.Errorf("record %d: wall %v, want %v", i, got[i].WallCycles, want.WallCycles)
+		}
+		if got[i].Config != want.Config {
+			t.Errorf("record %d: config %+v, want %+v", i, got[i].Config, want.Config)
+		}
+	}
+}
+
+// TestRecordsCoverCells checks a sample of drivers emit one record per
+// grid cell with the experiment id stamped.
+func TestRecordsCoverCells(t *testing.T) {
+	SetRunner(core.Runner{Workers: 0})
+	defer SetRunner(core.Runner{})
+	want := map[string]int{
+		"fig2":         35, // 7 allocators x 5 thread counts
+		"fig5a":        8,  // 4 policies x {on, off}
+		"fig5b-series": 4,  // 4 policies
+		"table3":       2,
+	}
+	for id, n := range want {
+		resetCaches()
+		d, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(Tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Records) != n {
+			t.Errorf("%s: got %d records, want %d", id, len(res.Records), n)
+		}
+		seen := map[string]bool{}
+		for _, rec := range res.Records {
+			if rec.Experiment != id {
+				t.Errorf("%s: record %q stamped experiment %q", id, rec.Cell, rec.Experiment)
+			}
+			if rec.Cell == "" {
+				t.Errorf("%s: record with empty cell name", id)
+			}
+			if seen[rec.Cell] {
+				t.Errorf("%s: duplicate cell name %q", id, rec.Cell)
+			}
+			seen[rec.Cell] = true
+			if rec.WallCycles <= 0 {
+				t.Errorf("%s/%s: wall cycles %v", id, rec.Cell, rec.WallCycles)
+			}
+		}
+	}
+}
+
 // TestRegistryCoversRenderables pins the registry's table counts so a
 // driver that silently drops a table is caught.
 func TestRegistryCoversRenderables(t *testing.T) {
 	SetRunner(core.Runner{Workers: 0})
 	defer SetRunner(core.Runner{})
 	want := map[string]int{
-		"fig2":      2, // time + overhead
-		"fig5a":     2, // cycles + LAR
-		"fig6w1":    3, // machines A, B, C
-		"fig6w2":    3,
-		"fig6w3":    3,
-		"fig7":      5, // 4 index kinds + scalability
-		"table2":    1,
-		"ablation":  1,
-		"preferred": 1,
+		"fig2":         2, // time + overhead
+		"fig5a":        2, // cycles + LAR
+		"fig5b-series": 1,
+		"fig6w1":       3, // machines A, B, C
+		"fig6w2":       3,
+		"fig6w3":       3,
+		"fig7":         5, // 4 index kinds + scalability
+		"table2":       1,
+		"ablation":     1,
+		"preferred":    1,
 	}
 	for id, n := range want {
 		d, err := Lookup(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tabs, err := d(Tiny)
+		res, err := d.Run(Tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		if len(tabs) != n {
-			t.Errorf("%s: got %d tables, want %d", id, len(tabs), n)
+		if len(res.Tables) != n {
+			t.Errorf("%s: got %d tables, want %d", id, len(res.Tables), n)
 		}
-		for i, tab := range tabs {
+		for i, tab := range res.Tables {
 			if tab == nil {
 				t.Errorf("%s: table %d is nil", id, i)
 			}
+		}
+		if res.Id != id {
+			t.Errorf("result id %q, want %q", res.Id, id)
+		}
+	}
+}
+
+// TestDescriptors checks the typed registry listing is complete and
+// carries metadata for every entry.
+func TestDescriptors(t *testing.T) {
+	ds := Descriptors()
+	if len(ds) != len(Ids()) {
+		t.Fatalf("Descriptors() returned %d entries, want %d", len(ds), len(Ids()))
+	}
+	for _, d := range ds {
+		if d.Id == "" || d.Title == "" || d.Artifact == "" || d.DefaultScale == "" {
+			t.Errorf("descriptor %+v has empty metadata", d)
 		}
 	}
 }

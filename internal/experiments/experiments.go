@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/vmm"
 )
 
@@ -87,18 +88,26 @@ var Default = Scale{
 	Fig3Runs:       10,
 }
 
-// machineFor builds a fresh machine by letter (A, B, C).
+// machineFor builds a fresh machine by letter (A, B, C). When cell
+// tracing is on it attaches an event recorder and periodic counter
+// snapshots, so every grid cell's record carries its event stream.
 func machineFor(letter string) *machine.Machine {
+	var m *machine.Machine
 	switch letter {
 	case "A":
-		return machine.NewA()
+		m = machine.NewA()
 	case "B":
-		return machine.NewB()
+		m = machine.NewB()
 	case "C":
-		return machine.NewC()
+		m = machine.NewC()
 	default:
 		panic("experiments: unknown machine " + letter)
 	}
+	if cellTracing {
+		m.SetTrace(trace.NewRecorder())
+		m.StartSnapshots(cellSnapEvery)
+	}
+	return m
 }
 
 // baseConfig is the paper's measurement baseline for W1-W4 once placement

@@ -19,10 +19,12 @@ type Fig10Result struct {
 	DefaultCycles  float64
 	GridBest       string
 	GridBestCycles float64
+	Records        []Record
 }
 
 // Fig10 runs W1 under the advised configuration, the OS default, and the
-// Figure 6 grid's best cell, on Machine A.
+// Figure 6 grid's best cell, on Machine A. Records include the advised
+// and default cells plus the full embedded Fig6W1 grid.
 func Fig10(s Scale) (Fig10Result, error) {
 	rec := core.Advise(core.Traits{
 		MemoryBandwidthBound: true,
@@ -33,15 +35,24 @@ func Fig10(s Scale) (Fig10Result, error) {
 
 	cfgs := []machine.RunConfig{rec.Apply(16), machine.DefaultConfig(16)}
 	cfgs[1].Seed = 9
-	cycles, err := core.Collect(runner, len(cfgs), func(i int) (float64, error) {
+	names := []string{"advised", "default"}
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(cfgs), func(i int) (cell, error) {
+		start := startCell()
 		m := machineFor("A")
 		m.Configure(cfgs[i])
-		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		return cell{w, finishCell(start, names[i],
+			map[string]string{"config": names[i]}, m, w)}, nil
 	})
 	if err != nil {
 		return Fig10Result{}, err
 	}
-	out.AdvisedCycles, out.DefaultCycles = cycles[0], cycles[1]
+	out.AdvisedCycles, out.DefaultCycles = cells[0].cycles, cells[1].cycles
+	out.Records = []Record{cells[0].rec, cells[1].rec}
 
 	grid, err := Fig6W1(s, "A")
 	if err != nil {
@@ -50,6 +61,7 @@ func Fig10(s Scale) (Fig10Result, error) {
 	bestAlloc, bestPol, bestCycles := grid.Best()
 	out.GridBest = bestAlloc + " + " + bestPol.String()
 	out.GridBestCycles = bestCycles
+	out.Records = append(out.Records, grid.Records...)
 	return out, nil
 }
 

@@ -19,6 +19,7 @@ type Fig2Result struct {
 	Threads  []int
 	Seconds  map[string][]float64
 	Overhead map[string][]float64
+	Records  []Record
 }
 
 // Fig2 runs the multi-threaded allocator microbenchmark: each thread
@@ -29,12 +30,15 @@ type Fig2Result struct {
 // through the grid runner's worker pool.
 func Fig2(s Scale) (Fig2Result, error) {
 	names := alloc.Names()
-	type cell struct{ secs, over float64 }
+	type cell struct {
+		secs, over float64
+		rec        Record
+	}
 	cells, err := core.Collect(runner, len(names)*len(Fig2Threads), func(i int) (cell, error) {
 		name := names[i/len(Fig2Threads)]
 		threads := Fig2Threads[i%len(Fig2Threads)]
-		secs, over := microbench(name, threads, s.MicrobenchOps)
-		return cell{secs, over}, nil
+		secs, over, rec := microbench(name, threads, s.MicrobenchOps)
+		return cell{secs, over, rec}, nil
 	})
 	if err != nil {
 		return Fig2Result{}, err
@@ -48,6 +52,7 @@ func Fig2(s Scale) (Fig2Result, error) {
 		name := names[i/len(Fig2Threads)]
 		out.Seconds[name] = append(out.Seconds[name], c.secs)
 		out.Overhead[name] = append(out.Overhead[name], c.over)
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }
@@ -69,8 +74,9 @@ func microbenchSizes() (sizes []uint64, cum []float64) {
 	return sizes, cum
 }
 
-func microbench(allocName string, threads, ops int) (seconds, overhead float64) {
-	m := machine.NewA()
+func microbench(allocName string, threads, ops int) (seconds, overhead float64, rec Record) {
+	start := startCell()
+	m := machineFor("A")
 	cfg := baseConfig(threads)
 	cfg.Allocator = allocName
 	m.Configure(cfg)
@@ -124,7 +130,16 @@ func microbench(allocName string, threads, ops int) (seconds, overhead float64) 
 			overhead = 1 // purged below peak: report as no overhead
 		}
 	}
-	return m.Seconds(res.WallCycles), overhead
+	seconds = m.Seconds(res.WallCycles)
+	rec = finishCell(start, allocName+"/"+strconv.Itoa(threads)+"T",
+		map[string]string{"allocator": allocName, "threads": strconv.Itoa(threads)},
+		m, res.WallCycles)
+	rec.Extra = map[string]float64{
+		"seconds":          seconds,
+		"mem_overhead":     overhead,
+		"lock_wait_cycles": st.LockWaitCycles,
+	}
+	return seconds, overhead, rec
 }
 
 // RenderTime renders Figure 2a as a table (allocator x threads,
@@ -133,7 +148,7 @@ func (r Fig2Result) RenderTime() *report.Table {
 	t := &report.Table{Title: "Fig 2a: allocator microbenchmark, execution time (ms), Machine A"}
 	t.Header = append([]string{"allocator"}, threadHeaders(r.Threads)...)
 	for _, name := range alloc.Names() {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, v := range r.Seconds[name] {
 			cells = append(cells, v*1000)
 		}
@@ -147,7 +162,7 @@ func (r Fig2Result) RenderOverhead() *report.Table {
 	t := &report.Table{Title: "Fig 2b: allocator memory overhead (used/requested), Machine A"}
 	t.Header = append([]string{"allocator"}, threadHeaders(r.Threads)...)
 	for _, name := range alloc.Names() {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, v := range r.Overhead[name] {
 			cells = append(cells, v)
 		}

@@ -14,6 +14,7 @@ import (
 type Fig3Result struct {
 	SparseCycles float64
 	Relative     []float64 // one per run; >= 1 means slower than Sparse
+	Records      []Record
 }
 
 // Fig3 runs W1 once under Sparse affinity, then s.Fig3Runs times under the
@@ -22,25 +23,41 @@ type Fig3Result struct {
 // the unaffinitized runs follow, each a fresh machine with its own seed.
 func Fig3(s Scale) (Fig3Result, error) {
 	mkMachine := func(place machine.Placement, seed uint64) *machine.Machine {
-		m := machine.NewA()
+		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Placement = place
 		cfg.Seed = seed
 		m.Configure(cfg)
 		return m
 	}
-	cycles, err := core.Collect(runner, 1+s.Fig3Runs, func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, 1+s.Fig3Runs, func(i int) (cell, error) {
+		start := startCell()
+		var m *machine.Machine
+		name := "sparse"
 		if i == 0 {
-			return runW1(mkMachine(machine.PlaceSparse, 1), s, datagen.MovingClusterDist).Result.WallCycles, nil
+			m = mkMachine(machine.PlaceSparse, 1)
+		} else {
+			m = mkMachine(machine.PlaceNone, uint64(100+i-1))
+			name = "run" + strconv.Itoa(i)
 		}
-		return runW1(mkMachine(machine.PlaceNone, uint64(100+i-1)), s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		return cell{w, finishCell(start, name,
+			map[string]string{"placement": m.Config().Placement.String(), "run": strconv.Itoa(i)},
+			m, w)}, nil
 	})
 	if err != nil {
 		return Fig3Result{}, err
 	}
-	out := Fig3Result{SparseCycles: cycles[0]}
-	for _, c := range cycles[1:] {
-		out.Relative = append(out.Relative, c/out.SparseCycles)
+	out := Fig3Result{SparseCycles: cells[0].cycles}
+	for _, c := range cells {
+		out.Records = append(out.Records, c.rec)
+	}
+	for _, c := range cells[1:] {
+		out.Relative = append(out.Relative, c.cycles/out.SparseCycles)
 	}
 	return out, nil
 }
@@ -62,6 +79,7 @@ func (r Fig3Result) Render() *report.Table {
 type Table3Result struct {
 	Default  machine.Counters
 	Modified machine.Counters
+	Records  []Record
 }
 
 // Table3 profiles W1 on Machine A under the OS scheduler (a
@@ -69,20 +87,32 @@ type Table3Result struct {
 // Sparse policy.
 func Table3(s Scale) (Table3Result, error) {
 	placements := []machine.Placement{machine.PlaceNone, machine.PlaceSparse}
-	profiles, err := core.Collect(runner, len(placements), func(i int) (machine.Counters, error) {
+	names := []string{"default", "modified"}
+	type cell struct {
+		counters machine.Counters
+		rec      Record
+	}
+	cells, err := core.Collect(runner, len(placements), func(i int) (cell, error) {
+		start := startCell()
 		place := placements[i]
-		m := machine.NewA()
+		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Placement = place
 		cfg.AutoNUMA = place == machine.PlaceNone // OS default keeps balancing on
 		cfg.Seed = 104                            // a representative noisy draw
 		m.Configure(cfg)
-		return runW1(m, s, datagen.MovingClusterDist).Result.Counters, nil
+		res := runW1(m, s, datagen.MovingClusterDist).Result
+		return cell{res.Counters, finishCell(start, names[i],
+			map[string]string{"placement": place.String()}, m, res.WallCycles)}, nil
 	})
 	if err != nil {
 		return Table3Result{}, err
 	}
-	return Table3Result{Default: profiles[0], Modified: profiles[1]}, nil
+	return Table3Result{
+		Default:  cells[0].counters,
+		Modified: cells[1].counters,
+		Records:  []Record{cells[0].rec, cells[1].rec},
+	}, nil
 }
 
 // Render renders Table III with percent changes.
@@ -117,8 +147,9 @@ type Fig4Result struct {
 	Datasets []datagen.Distribution
 	Threads  []int
 	// Cycles[dist][i] for Threads[i], per placement.
-	Dense  map[datagen.Distribution][]float64
-	Sparse map[datagen.Distribution][]float64
+	Dense   map[datagen.Distribution][]float64
+	Sparse  map[datagen.Distribution][]float64
+	Records []Record
 }
 
 // Fig4 compares the Sparse and Dense affinitization strategies on W1
@@ -132,26 +163,39 @@ func Fig4(s Scale) (Fig4Result, error) {
 	}
 	places := []machine.Placement{machine.PlaceDense, machine.PlaceSparse}
 	nCells := len(out.Datasets) * len(Fig4Threads) * len(places)
-	cycles, err := core.Collect(runner, nCells, func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, nCells, func(i int) (cell, error) {
+		start := startCell()
 		dist := out.Datasets[i/(len(Fig4Threads)*len(places))]
 		threads := Fig4Threads[i/len(places)%len(Fig4Threads)]
 		place := places[i%len(places)]
-		m := machine.NewA()
+		m := machineFor("A")
 		cfg := baseConfig(threads)
 		cfg.Placement = place
 		m.Configure(cfg)
-		return runW1(m, s, dist).Result.WallCycles, nil
+		w := runW1(m, s, dist).Result.WallCycles
+		return cell{w, finishCell(start,
+			string(dist)+"/"+strconv.Itoa(threads)+"T/"+place.String(),
+			map[string]string{
+				"dataset":   string(dist),
+				"threads":   strconv.Itoa(threads),
+				"placement": place.String(),
+			}, m, w)}, nil
 	})
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	for i, c := range cycles {
+	for i, c := range cells {
 		dist := out.Datasets[i/(len(Fig4Threads)*len(places))]
 		if places[i%len(places)] == machine.PlaceDense {
-			out.Dense[dist] = append(out.Dense[dist], c)
+			out.Dense[dist] = append(out.Dense[dist], c.cycles)
 		} else {
-			out.Sparse[dist] = append(out.Sparse[dist], c)
+			out.Sparse[dist] = append(out.Sparse[dist], c.cycles)
 		}
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }

@@ -20,6 +20,7 @@ type Fig5aResult struct {
 	OffCycles []float64
 	OnLAR     []float64
 	OffLAR    []float64
+	Records   []Record
 }
 
 // Fig5a sweeps placement policy x AutoNUMA for W1 on Machine A.
@@ -27,16 +28,26 @@ func Fig5a(s Scale) (Fig5aResult, error) {
 	out := Fig5aResult{Policies: fig5Policies}
 	type cell struct {
 		cycles, lar float64
+		rec         Record
 	}
 	autos := []bool{true, false}
 	cells, err := core.Collect(runner, len(fig5Policies)*len(autos), func(i int) (cell, error) {
+		start := startCell()
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Policy = fig5Policies[i/len(autos)]
 		cfg.AutoNUMA = autos[i%len(autos)]
 		m.Configure(cfg)
 		res := runW1(m, s, datagen.MovingClusterDist)
-		return cell{res.Result.WallCycles, res.Result.Counters.LAR()}, nil
+		auto := "off"
+		if cfg.AutoNUMA {
+			auto = "on"
+		}
+		rec := finishCell(start, cfg.Policy.String()+"/auto="+auto,
+			map[string]string{"policy": cfg.Policy.String(), "autonuma": auto},
+			m, res.Result.WallCycles)
+		rec.Extra = map[string]float64{"lar": res.Result.Counters.LAR()}
+		return cell{res.Result.WallCycles, res.Result.Counters.LAR(), rec}, nil
 	})
 	if err != nil {
 		return Fig5aResult{}, err
@@ -49,6 +60,7 @@ func Fig5a(s Scale) (Fig5aResult, error) {
 			out.OffCycles = append(out.OffCycles, c.cycles)
 			out.OffLAR = append(out.OffLAR, c.lar)
 		}
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }
@@ -82,6 +94,7 @@ type Fig5cResult struct {
 	Allocators []string
 	Off        []float64
 	On         []float64
+	Records    []Record
 }
 
 // Fig5c sweeps allocator x THP for W1 on Machine A (First Touch, AutoNUMA
@@ -89,23 +102,35 @@ type Fig5cResult struct {
 func Fig5c(s Scale) (Fig5cResult, error) {
 	out := Fig5cResult{Allocators: alloc.WorkloadNames()}
 	thps := []bool{false, true}
-	cycles, err := core.Collect(runner, len(out.Allocators)*len(thps), func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(out.Allocators)*len(thps), func(i int) (cell, error) {
+		start := startCell()
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Allocator = out.Allocators[i/len(thps)]
 		cfg.THP = thps[i%len(thps)]
 		m.Configure(cfg)
-		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		thp := "off"
+		if cfg.THP {
+			thp = "on"
+		}
+		return cell{w, finishCell(start, cfg.Allocator+"/thp="+thp,
+			map[string]string{"allocator": cfg.Allocator, "thp": thp}, m, w)}, nil
 	})
 	if err != nil {
 		return Fig5cResult{}, err
 	}
-	for i, c := range cycles {
+	for i, c := range cells {
 		if thps[i%len(thps)] {
-			out.On = append(out.On, c)
+			out.On = append(out.On, c.cycles)
 		} else {
-			out.Off = append(out.Off, c)
+			out.Off = append(out.Off, c.cycles)
 		}
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }
@@ -128,8 +153,9 @@ type Fig5dResult struct {
 	Machines []string
 	Policies []vmm.Policy
 	// Cycles[machine][policy index], daemons on and off.
-	On  map[string][]float64
-	Off map[string][]float64
+	On      map[string][]float64
+	Off     map[string][]float64
+	Records []Record
 }
 
 // Fig5d sweeps {First Touch, Interleave, Localalloc} x {daemons on, off}
@@ -143,26 +169,43 @@ func Fig5d(s Scale) (Fig5dResult, error) {
 	}
 	daemonsStates := []bool{true, false}
 	per := len(out.Policies) * len(daemonsStates)
-	cycles, err := core.Collect(runner, len(out.Machines)*per, func(i int) (float64, error) {
-		m := machineFor(out.Machines[i/per])
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(out.Machines)*per, func(i int) (cell, error) {
+		start := startCell()
+		mc := out.Machines[i/per]
+		m := machineFor(mc)
 		cfg := baseConfig(m.Spec.HardwareThreads())
 		cfg.Policy = out.Policies[i/len(daemonsStates)%len(out.Policies)]
 		daemons := daemonsStates[i%len(daemonsStates)]
 		cfg.AutoNUMA = daemons
 		cfg.THP = daemons
 		m.Configure(cfg)
-		return runW1(m, s, datagen.MovingClusterDist).Result.WallCycles, nil
+		w := runW1(m, s, datagen.MovingClusterDist).Result.WallCycles
+		state := "off"
+		if daemons {
+			state = "on"
+		}
+		return cell{w, finishCell(start, mc+"/"+cfg.Policy.String()+"/daemons="+state,
+			map[string]string{
+				"machine": mc,
+				"policy":  cfg.Policy.String(),
+				"daemons": state,
+			}, m, w)}, nil
 	})
 	if err != nil {
 		return Fig5dResult{}, err
 	}
-	for i, c := range cycles {
+	for i, c := range cells {
 		mc := out.Machines[i/per]
 		if daemonsStates[i%len(daemonsStates)] {
-			out.On[mc] = append(out.On[mc], c)
+			out.On[mc] = append(out.On[mc], c.cycles)
 		} else {
-			out.Off[mc] = append(out.Off[mc], c)
+			out.Off[mc] = append(out.Off[mc], c.cycles)
 		}
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }

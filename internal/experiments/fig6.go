@@ -20,7 +20,8 @@ type Fig6Result struct {
 	Allocators []string
 	Policies   []vmm.Policy
 	// Cycles[allocator index][policy index].
-	Cycles [][]float64
+	Cycles  [][]float64
+	Records []Record
 }
 
 // sweepAllocPolicy runs the given workload for every allocator x policy
@@ -32,7 +33,12 @@ func sweepAllocPolicy(title, mc string, threads int, run func(m *machine.Machine
 		Allocators: alloc.WorkloadNames(),
 		Policies:   fig6Policies,
 	}
-	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Policies), func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Policies), func(i int) (cell, error) {
+		start := startCell()
 		m := machineFor(mc)
 		cfg := baseConfig(threads)
 		if threads <= 0 {
@@ -41,13 +47,26 @@ func sweepAllocPolicy(title, mc string, threads int, run func(m *machine.Machine
 		cfg.Allocator = out.Allocators[i/len(out.Policies)]
 		cfg.Policy = out.Policies[i%len(out.Policies)]
 		m.Configure(cfg)
-		return run(m), nil
+		w := run(m)
+		return cell{w, finishCell(start, mc+"/"+cfg.Allocator+"/"+cfg.Policy.String(),
+			map[string]string{
+				"machine":   mc,
+				"allocator": cfg.Allocator,
+				"policy":    cfg.Policy.String(),
+			}, m, w)}, nil
 	})
 	if err != nil {
 		return Fig6Result{}, err
 	}
+	for i := range cells {
+		out.Records = append(out.Records, cells[i].rec)
+	}
 	for i := 0; i < len(out.Allocators); i++ {
-		out.Cycles = append(out.Cycles, cells[i*len(out.Policies):(i+1)*len(out.Policies)])
+		row := make([]float64, len(out.Policies))
+		for j := range row {
+			row[j] = cells[i*len(out.Policies)+j].cycles
+		}
+		out.Cycles = append(out.Cycles, row)
 	}
 	return out, nil
 }
@@ -85,7 +104,7 @@ func (r Fig6Result) Render() *report.Table {
 		t.Header = append(t.Header, p.String())
 	}
 	for i, name := range r.Allocators {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, v := range r.Cycles[i] {
 			cells = append(cells, report.Billions(v))
 		}
@@ -129,24 +148,41 @@ type Fig6jResult struct {
 	Allocators []string
 	Datasets   []datagen.Distribution
 	Cycles     [][]float64 // [allocator][dataset]
+	Records    []Record
 }
 
 // Fig6j varies the dataset distribution under each allocator.
 func Fig6j(s Scale) (Fig6jResult, error) {
 	out := Fig6jResult{Allocators: alloc.WorkloadNames(), Datasets: datagen.Distributions()}
-	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Datasets), func(i int) (float64, error) {
+	type cell struct {
+		cycles float64
+		rec    Record
+	}
+	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Datasets), func(i int) (cell, error) {
+		start := startCell()
+		dist := out.Datasets[i%len(out.Datasets)]
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Allocator = out.Allocators[i/len(out.Datasets)]
 		cfg.Policy = vmm.Interleave
 		m.Configure(cfg)
-		return runW1(m, s, out.Datasets[i%len(out.Datasets)]).Result.WallCycles, nil
+		w := runW1(m, s, dist).Result.WallCycles
+		return cell{w, finishCell(start, cfg.Allocator+"/"+string(dist),
+			map[string]string{"allocator": cfg.Allocator, "dataset": string(dist)},
+			m, w)}, nil
 	})
 	if err != nil {
 		return Fig6jResult{}, err
 	}
+	for i := range cells {
+		out.Records = append(out.Records, cells[i].rec)
+	}
 	for i := 0; i < len(out.Allocators); i++ {
-		out.Cycles = append(out.Cycles, cells[i*len(out.Datasets):(i+1)*len(out.Datasets)])
+		row := make([]float64, len(out.Datasets))
+		for j := range row {
+			row[j] = cells[i*len(out.Datasets)+j].cycles
+		}
+		out.Cycles = append(out.Cycles, row)
 	}
 	return out, nil
 }
@@ -159,7 +195,7 @@ func (r Fig6jResult) Render() *report.Table {
 		t.Header = append(t.Header, string(d))
 	}
 	for i, name := range r.Allocators {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, v := range r.Cycles[i] {
 			cells = append(cells, report.Billions(v))
 		}

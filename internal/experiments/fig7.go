@@ -23,6 +23,7 @@ type Fig7Result struct {
 	BestBuild float64
 	BestJoin  float64
 	BestAlloc string
+	Records   []Record
 }
 
 // Fig7 sweeps one index kind over allocators x policies (W4, Machine A).
@@ -33,15 +34,29 @@ func Fig7(s Scale, kind index.Kind) (Fig7Result, error) {
 		Policies:   fig6Policies,
 	}
 	tables := datagen.CachedJoin(s.JoinR, datagen.DefaultJoinRatio, 17)
-	type cell struct{ build, probe float64 }
+	type cell struct {
+		build, probe float64
+		rec          Record
+	}
 	cells, err := core.Collect(runner, len(out.Allocators)*len(out.Policies), func(i int) (cell, error) {
+		start := startCell()
 		m := machineFor("A")
 		cfg := baseConfig(16)
 		cfg.Allocator = out.Allocators[i/len(out.Policies)]
 		cfg.Policy = out.Policies[i%len(out.Policies)]
 		m.Configure(cfg)
 		res := query.IndexJoin(m, kind, tables)
-		return cell{res.BuildCycles, res.ProbeCycles}, nil
+		rec := finishCell(start, string(kind)+"/"+cfg.Allocator+"/"+cfg.Policy.String(),
+			map[string]string{
+				"index":     string(kind),
+				"allocator": cfg.Allocator,
+				"policy":    cfg.Policy.String(),
+			}, m, res.Result.WallCycles)
+		rec.Extra = map[string]float64{
+			"build_cycles": res.BuildCycles,
+			"probe_cycles": res.ProbeCycles,
+		}
+		return cell{res.BuildCycles, res.ProbeCycles, rec}, nil
 	})
 	if err != nil {
 		return Fig7Result{}, err
@@ -55,6 +70,7 @@ func Fig7(s Scale, kind index.Kind) (Fig7Result, error) {
 		}
 		row := len(out.JoinCycles) - 1
 		out.JoinCycles[row] = append(out.JoinCycles[row], c.probe)
+		out.Records = append(out.Records, c.rec)
 		total := c.build + c.probe
 		if bestTotal == 0 || total < bestTotal {
 			bestTotal = total
@@ -74,7 +90,7 @@ func (r Fig7Result) Render() *report.Table {
 		t.Header = append(t.Header, p.String())
 	}
 	for i, name := range r.Allocators {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, v := range r.JoinCycles[i] {
 			cells = append(cells, report.Billions(v))
 		}

@@ -35,6 +35,7 @@ type Fig8Result struct {
 	// DefaultWall and TunedWall keep the raw means for EXPERIMENTS.md.
 	DefaultWall map[string][]float64
 	TunedWall   map[string][]float64
+	Records     []Record
 }
 
 // Fig8 runs all 22 TPC-H queries on the five engine profiles under the OS
@@ -49,21 +50,38 @@ func Fig8(s Scale) (Fig8Result, error) {
 	type cell struct {
 		walls []float64
 		res   []tpch.QueryResult
+		rec   Record
 	}
 	configs := 2 // 0 = OS default, 1 = tuned
 	cells, err := core.Collect(runner, len(profiles)*configs, func(i int) (cell, error) {
+		start := startCell()
 		prof := profiles[i/configs]
 		spec := machine.SpecA()
 		var cfg machine.RunConfig
+		which := "tuned"
 		if i%configs == 0 {
 			cfg = machine.DefaultConfig(spec.HardwareThreads())
 			cfg.Seed = 9
+			which = "default"
 		} else {
 			cfg = w5TunedConfig(spec.HardwareThreads(), prof.Name == "DBMSx")
 		}
 		h := tpch.NewHarness(spec, prof, cfg, db, s.WarmRuns)
 		walls, res := h.MeasureAll()
-		return cell{walls, res}, nil
+		// The harness owns its machine (not built via machineFor), so W5
+		// cells carry counters and config but no event trace.
+		wall := 0.0
+		for _, w := range walls {
+			wall += w
+		}
+		rec := finishCell(start, prof.Name+"/"+which,
+			map[string]string{"engine": prof.Name, "config": which},
+			h.Engine.M, wall)
+		rec.Extra = map[string]float64{}
+		for q, w := range walls {
+			rec.Extra["q"+strconv.Itoa(q+1)] = w
+		}
+		return cell{walls, res, rec}, nil
 	})
 	if err != nil {
 		return Fig8Result{}, err
@@ -72,6 +90,9 @@ func Fig8(s Scale) (Fig8Result, error) {
 		Reduction:   map[string][]float64{},
 		DefaultWall: map[string][]float64{},
 		TunedWall:   map[string][]float64{},
+	}
+	for _, c := range cells {
+		out.Records = append(out.Records, c.rec)
 	}
 	for p, prof := range profiles {
 		out.Systems = append(out.Systems, prof.Name)
@@ -95,13 +116,13 @@ func (r Fig8Result) Render() *report.Table {
 	t.Header = []string{"query"}
 	t.Header = append(t.Header, r.Systems...)
 	for q := 0; q < tpch.NumQueries; q++ {
-		cells := []interface{}{"Q" + strconv.Itoa(q+1)}
+		cells := []any{"Q" + strconv.Itoa(q+1)}
 		for _, sys := range r.Systems {
 			cells = append(cells, report.Pct(r.Reduction[sys][q]))
 		}
 		t.AddRow(cells...)
 	}
-	avg := []interface{}{"mean"}
+	avg := []any{"mean"}
 	for _, sys := range r.Systems {
 		avg = append(avg, report.Pct(r.Mean(sys)))
 	}
@@ -135,6 +156,7 @@ type Fig9Result struct {
 	Allocators []string
 	Q5         []float64
 	Q18        []float64
+	Records    []Record
 }
 
 // Fig9 varies the overriding allocator for MonetDB on queries 5 and 18.
@@ -144,15 +166,23 @@ func Fig9(s Scale) (Fig9Result, error) {
 	db := tpch.GenerateCached(s.TPCHSF, 41)
 	out := Fig9Result{Allocators: alloc.WorkloadNames()}
 	prof := tpch.ProfileByName("MonetDB")
-	type cell struct{ q5, q18 float64 }
+	type cell struct {
+		q5, q18 float64
+		rec     Record
+	}
 	cells, err := core.Collect(runner, len(out.Allocators), func(i int) (cell, error) {
+		start := startCell()
 		spec := machine.SpecA()
 		cfg := w5TunedConfig(spec.HardwareThreads(), false)
 		cfg.Allocator = out.Allocators[i]
 		h := tpch.NewHarness(spec, prof, cfg, db, s.WarmRuns)
 		q5, _ := h.Measure(5)
 		q18, _ := h.Measure(18)
-		return cell{q5, q18}, nil
+		rec := finishCell(start, cfg.Allocator,
+			map[string]string{"engine": prof.Name, "allocator": cfg.Allocator},
+			h.Engine.M, q5+q18)
+		rec.Extra = map[string]float64{"q5": q5, "q18": q18}
+		return cell{q5, q18, rec}, nil
 	})
 	if err != nil {
 		return Fig9Result{}, err
@@ -160,6 +190,7 @@ func Fig9(s Scale) (Fig9Result, error) {
 	for _, c := range cells {
 		out.Q5 = append(out.Q5, c.q5)
 		out.Q18 = append(out.Q18, c.q18)
+		out.Records = append(out.Records, c.rec)
 	}
 	return out, nil
 }

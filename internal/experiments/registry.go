@@ -8,142 +8,263 @@ import (
 	"repro/internal/report"
 )
 
-// Driver runs one experiment id at a scale and returns its rendered
-// tables. Drivers report malformed sweeps and panicking grid cells as
-// errors instead of crashing the run.
-type Driver func(s Scale) ([]*report.Table, error)
+// Driver runs one experiment id at a scale and returns its unified
+// result: the rendered tables plus one structured record per grid cell.
+// Drivers report malformed sweeps and panicking grid cells as errors
+// instead of crashing the run.
+type Driver func(s Scale) (*Result, error)
 
-// registry maps experiment ids to drivers. Built once at package
-// initialization; treat as read-only.
-var registry = map[string]Driver{
-	"fig2": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig2(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.RenderTime(), r.RenderOverhead()}, nil
-	},
-	"fig3": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig3(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"table2": func(s Scale) ([]*report.Table, error) {
-		return []*report.Table{Table2()}, nil
-	},
-	"table3": func(s Scale) ([]*report.Table, error) {
-		r, err := Table3(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig4": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig4(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig5a": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig5a(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render(), r.RenderLAR()}, nil
-	},
-	"fig5c": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig5c(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig5d": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig5d(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig6w1": machineSweep(Fig6W1),
-	"fig6w2": machineSweep(Fig6W2),
-	"fig6w3": machineSweep(Fig6W3),
-	"fig6j": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig6j(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig7": func(s Scale) ([]*report.Table, error) {
-		// Render the four grids and derive Figure 7e from them instead of
-		// re-running every sweep: deterministic cells make the two
-		// byte-identical, at half the wall time.
-		var ts []*report.Table
-		var grids []Fig7Result
-		for _, k := range index.Kinds() {
-			r, err := Fig7(s, k)
-			if err != nil {
-				return nil, err
-			}
-			ts = append(ts, r.Render())
-			grids = append(grids, r)
-		}
-		return append(ts, Fig7eFromGrids(grids).Render()), nil
-	},
-	"fig8": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig8(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig9": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig9(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"fig10": func(s Scale) ([]*report.Table, error) {
-		r, err := Fig10(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"ablation": func(s Scale) ([]*report.Table, error) {
-		r, err := Ablate(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
-	"preferred": func(s Scale) ([]*report.Table, error) {
-		r, err := PolicySensitivity(s)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{r.Render()}, nil
-	},
+// Descriptor is one registry entry: the experiment's identity and
+// metadata plus its driver. Obtain descriptors with Lookup or
+// Descriptors; execute with Run.
+type Descriptor struct {
+	// Id is the registry key, e.g. "fig5a".
+	Id string
+	// Title is a one-line description of what the experiment measures.
+	Title string
+	// Artifact names the paper artifact reproduced, e.g. "Figure 5a/5b".
+	Artifact string
+	// DefaultScale is the scale EXPERIMENTS.md regenerates the artifact
+	// at ("cal" unless noted).
+	DefaultScale string
+
+	run Driver
 }
 
-// machineSweep adapts the per-machine Figure 6 drivers into a Driver that
-// renders the grid for Machines A, B and C.
-func machineSweep(fn func(s Scale, mc string) (Fig6Result, error)) Driver {
-	return func(s Scale) ([]*report.Table, error) {
-		var ts []*report.Table
-		for _, mc := range []string{"A", "B", "C"} {
-			r, err := fn(s, mc)
-			if err != nil {
-				return nil, err
-			}
-			ts = append(ts, r.Render())
+// Run executes the experiment, stamping the result and every record with
+// the experiment id.
+func (d Descriptor) Run(s Scale) (*Result, error) {
+	r, err := d.run(s)
+	if err != nil {
+		return nil, err
+	}
+	r.Id = d.Id
+	for i := range r.Records {
+		r.Records[i].Experiment = d.Id
+	}
+	return r, nil
+}
+
+// registry maps experiment ids to descriptors. Built once at package
+// initialization; treat as read-only.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]Descriptor {
+	ds := []Descriptor{
+		{
+			Id: "fig2", Title: "Allocator microbenchmark: time and memory overhead",
+			Artifact: "Figure 2a/2b", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig2(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.RenderTime(), r.RenderOverhead()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig3", Title: "OS scheduler variance vs Sparse affinity, consecutive W1 runs",
+			Artifact: "Figure 3", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig3(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "table2", Title: "Simulated machine specifications",
+			Artifact: "Table II", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				return &Result{Tables: []*report.Table{Table2()}}, nil
+			},
+		},
+		{
+			Id: "table3", Title: "Perf-counter profile, default vs Sparse placement",
+			Artifact: "Table III", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Table3(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig4", Title: "Sparse vs Dense thread affinity across datasets",
+			Artifact: "Figure 4", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig4(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig5a", Title: "AutoNUMA effect on runtime and locality by placement policy",
+			Artifact: "Figure 5a/5b", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig5a(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render(), r.RenderLAR()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig5b-series", Title: "Local access ratio over time from counter snapshots",
+			Artifact: "Figure 5b (time series)", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig5bSeries(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig5c", Title: "THP impact per memory allocator",
+			Artifact: "Figure 5c", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig5c(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig5d", Title: "Combined AutoNUMA+THP effect across machines",
+			Artifact: "Figure 5d", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig5d(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		machineSweep("fig6w1", "W1 holistic aggregation, allocator x policy grids", "Figure 6a-6c", Fig6W1),
+		machineSweep("fig6w2", "W2 distributive aggregation, allocator x policy grids", "Figure 6d-6f", Fig6W2),
+		machineSweep("fig6w3", "W3 hash join, allocator x policy grids", "Figure 6g-6i", Fig6W3),
+		{
+			Id: "fig6j", Title: "W1 by dataset distribution and allocator",
+			Artifact: "Figure 6j", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig6j(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig7", Title: "Index nested-loop join grids and best-config phase split",
+			Artifact: "Figure 7a-7e", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				// Render the four grids and derive Figure 7e from them
+				// instead of re-running every sweep: deterministic cells
+				// make the two byte-identical, at half the wall time.
+				out := &Result{}
+				var grids []Fig7Result
+				for _, k := range index.Kinds() {
+					r, err := Fig7(s, k)
+					if err != nil {
+						return nil, err
+					}
+					out.Tables = append(out.Tables, r.Render())
+					out.Records = append(out.Records, r.Records...)
+					grids = append(grids, r)
+				}
+				out.Tables = append(out.Tables, Fig7eFromGrids(grids).Render())
+				return out, nil
+			},
+		},
+		{
+			Id: "fig8", Title: "TPC-H latency reduction, tuned vs default, five engines",
+			Artifact: "Figure 8", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig8(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig9", Title: "TPC-H Q5/Q18 latency by allocator, MonetDB",
+			Artifact: "Figure 9", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig9(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "fig10", Title: "Decision-flowchart validation against the measured optimum",
+			Artifact: "Figure 10", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Fig10(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "ablation", Title: "Cost-model ablations of the headline default-vs-tuned gain",
+			Artifact: "extension", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Ablate(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+		{
+			Id: "preferred", Title: "Preferred-policy target-node sensitivity",
+			Artifact: "extension", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := PolicySensitivity(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render()}, Records: r.Records}, nil
+			},
+		},
+	}
+	m := make(map[string]Descriptor, len(ds))
+	for _, d := range ds {
+		if _, dup := m[d.Id]; dup {
+			panic("experiments: duplicate registry id " + d.Id)
 		}
-		return ts, nil
+		m[d.Id] = d
+	}
+	return m
+}
+
+// machineSweep adapts the per-machine Figure 6 drivers into a Descriptor
+// that renders the grid for Machines A, B and C.
+func machineSweep(id, title, artifact string, fn func(s Scale, mc string) (Fig6Result, error)) Descriptor {
+	return Descriptor{
+		Id: id, Title: title, Artifact: artifact, DefaultScale: "cal",
+		run: func(s Scale) (*Result, error) {
+			out := &Result{}
+			for _, mc := range []string{"A", "B", "C"} {
+				r, err := fn(s, mc)
+				if err != nil {
+					return nil, err
+				}
+				out.Tables = append(out.Tables, r.Render())
+				out.Records = append(out.Records, r.Records...)
+			}
+			return out, nil
+		},
 	}
 }
 
@@ -157,11 +278,20 @@ func Ids() []string {
 	return ids
 }
 
-// Lookup resolves an experiment id to its driver.
-func Lookup(id string) (Driver, error) {
+// Descriptors returns every registry entry sorted by id.
+func Descriptors() []Descriptor {
+	ds := make([]Descriptor, 0, len(registry))
+	for _, id := range Ids() {
+		ds = append(ds, registry[id])
+	}
+	return ds
+}
+
+// Lookup resolves an experiment id to its descriptor.
+func Lookup(id string) (Descriptor, error) {
 	d, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("unknown experiment %q", id)
+		return Descriptor{}, fmt.Errorf("unknown experiment %q", id)
 	}
 	return d, nil
 }

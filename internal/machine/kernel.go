@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/vmm"
 )
 
@@ -102,6 +103,19 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 			}
 		}
 		delete(m.samples, vpn)
+	}
+	if m.trace != nil {
+		// One event per pass: Addr carries the pages migrated, Cost the
+		// scan stall each running thread just paid.
+		m.trace.Emit(trace.Event{
+			Cycle:  m.clock,
+			Kind:   trace.AutoNUMAScan,
+			Thread: -1,
+			From:   -1,
+			To:     -1,
+			Addr:   uint64(migrated),
+			Cost:   m.P.AutoNUMASampleCost + m.P.AutoNUMAHintFault*hot,
+		})
 	}
 
 	// Task balancing: sometimes the daemon moves a whole thread toward the

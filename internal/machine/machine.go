@@ -19,6 +19,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cache"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/vmm"
 	"repro/internal/xrand"
 )
@@ -92,17 +93,19 @@ func TunedConfig(threads int) RunConfig {
 }
 
 // Counters is the simulated perf-counter profile of a run (Table III).
+// The json tags define the field names used by the structured results
+// records (see the experiments package's JSONL schema).
 type Counters struct {
-	ThreadMigrations uint64
-	CacheAccesses    uint64 // LLC lookups
-	CacheMisses      uint64 // LLC misses
-	TLBMisses        uint64
-	LocalAccesses    uint64 // DRAM accesses served locally
-	RemoteAccesses   uint64
-	MinorFaults      uint64
-	PageMigrations   uint64
-	HugePromotions   uint64
-	HugeSplits       uint64
+	ThreadMigrations uint64 `json:"thread_migrations"`
+	CacheAccesses    uint64 `json:"cache_accesses"` // LLC lookups
+	CacheMisses      uint64 `json:"cache_misses"`   // LLC misses
+	TLBMisses        uint64 `json:"tlb_misses"`
+	LocalAccesses    uint64 `json:"local_accesses"` // DRAM accesses served locally
+	RemoteAccesses   uint64 `json:"remote_accesses"`
+	MinorFaults      uint64 `json:"minor_faults"`
+	PageMigrations   uint64 `json:"page_migrations"`
+	HugePromotions   uint64 `json:"huge_promotions"`
+	HugeSplits       uint64 `json:"huge_splits"`
 }
 
 // LAR returns the local access ratio: local / (local + remote).
@@ -172,6 +175,13 @@ type Machine struct {
 	counters  Counters
 	migRate   float64 // per-scheduling-event migration probability (PlaceNone)
 	threadSeq int
+
+	// Observability: the event sink (nil when tracing is off) and the
+	// periodic counter-snapshot series; see trace.go.
+	trace     trace.Sink
+	snapEvery float64
+	nextSnap  float64
+	snaps     []Snapshot
 }
 
 type sampleEntry struct {
@@ -230,6 +240,7 @@ func (m *Machine) Configure(cfg RunConfig) {
 	m.Mem.SetTHP(cfg.THP)
 	m.Alloc = alloc.New(cfg.Allocator)
 	m.Alloc.Attach(m, cfg.Threads)
+	m.wireAllocTrace()
 	m.nextBalance = m.clock + m.P.AutoNUMAPeriod
 	m.nextTHPScan = m.clock + m.P.THPPeriod
 	// The OS scheduler's appetite for migration varies run to run; sample
@@ -322,6 +333,18 @@ func (m *Machine) coherencePenalty(lineTag uint64, node topology.NodeID, write b
 		if owner != node {
 			cost = m.P.CoherenceCycles
 			m.writerDir[idx] = 0 // downgraded out of the owner's cache
+			if m.trace != nil {
+				cyc, th := m.traceNow()
+				m.trace.Emit(trace.Event{
+					Cycle:  cyc,
+					Kind:   trace.Coherence,
+					Thread: th,
+					From:   int16(owner),
+					To:     int16(node),
+					Addr:   lineTag * uint64(m.Spec.LineSize),
+					Cost:   cost,
+				})
+			}
 		}
 	}
 	if write {

@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/cache"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // nodeOf maps a hardware context index to its NUMA node. Contexts are
@@ -101,6 +102,7 @@ func (m *Machine) Run(n int, body func(t *Thread)) Result {
 			m.clock = t.wall
 		}
 		m.runDaemons(threads)
+		m.pumpSnapshots()
 		if t.done {
 			m.hwLoad[t.hw]--
 			m.active--
@@ -143,6 +145,7 @@ func (m *Machine) osSchedule(t *Thread) {
 // migrateThread moves t to a new hardware context, invalidating its
 // core-private state and charging the reschedule cost.
 func (m *Machine) migrateThread(t *Thread, newHW int) {
+	from := m.nodeOf(t.hw)
 	m.hwLoad[t.hw]--
 	t.hw = newHW
 	m.hwLoad[newHW]++
@@ -150,6 +153,16 @@ func (m *Machine) migrateThread(t *Thread, newHW int) {
 	t.tlb.Flush()
 	t.stall(m.P.MigrationCycles)
 	t.migrations++
+	if m.trace != nil {
+		m.trace.Emit(trace.Event{
+			Cycle:  t.cycles,
+			Kind:   trace.ThreadMigration,
+			Thread: int32(t.id),
+			From:   int16(from),
+			To:     int16(m.nodeOf(newHW)),
+			Cost:   m.P.MigrationCycles,
+		})
+	}
 }
 
 // maybeYield parks the thread if its quantum is exhausted, handing control

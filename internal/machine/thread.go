@@ -94,6 +94,11 @@ func (t *Thread) access(addr, size uint64, write bool) {
 		return
 	}
 	m := t.m
+	// Mark the acting thread so trace events emitted along the access path
+	// (faults, placements, coherence transfers) are stamped with its cycle
+	// account; cleared before yielding so daemon work is stamped on the
+	// global clock.
+	m.current = t
 	line := uint64(m.Spec.LineSize)
 	last := (addr + size - 1) &^ (line - 1)
 	for a := addr &^ (line - 1); ; a += line {
@@ -102,6 +107,7 @@ func (t *Thread) access(addr, size uint64, write bool) {
 			break
 		}
 	}
+	m.current = nil
 	t.maybeYield()
 }
 

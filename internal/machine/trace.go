@@ -1,0 +1,107 @@
+package machine
+
+import "repro/internal/trace"
+
+// Snapshot is one periodic sample of the counter profile, stamped with the
+// virtual cycle it was due at. A series of snapshots turns end-of-run
+// totals into time series (LAR over time, fault and migration bursts) —
+// the raw material for Figure 5b-style plots.
+type Snapshot struct {
+	Cycle    float64  `json:"cycle"`
+	Counters Counters `json:"counters"`
+}
+
+// SetTrace attaches an event sink to the machine and every layer under it
+// (vmm placement events, allocator lock stalls). Pass nil to detach. With
+// no sink attached every hook reduces to one pointer compare, so untraced
+// runs pay nothing.
+func (m *Machine) SetTrace(s trace.Sink) {
+	m.trace = s
+	if s == nil {
+		m.Mem.SetTrace(nil, nil)
+	} else {
+		m.Mem.SetTrace(s, m.traceNow)
+	}
+	m.wireAllocTrace()
+}
+
+// Trace returns the attached event sink, nil when tracing is off.
+func (m *Machine) Trace() trace.Sink { return m.trace }
+
+// traceNow supplies the virtual timestamp and acting thread for an event:
+// the running thread's cycle account during a quantum, the machine's
+// global clock (thread -1) for daemon work between quanta.
+func (m *Machine) traceNow() (cycle float64, thread int32) {
+	if t := m.current; t != nil {
+		return t.cycles, int32(t.id)
+	}
+	return m.clock, -1
+}
+
+// wireAllocTrace re-installs the allocator lock-wait hook; called whenever
+// the sink or the allocator changes (Configure rebuilds the allocator).
+func (m *Machine) wireAllocTrace() {
+	if m.Alloc == nil {
+		return
+	}
+	h, ok := m.Alloc.(interface{ SetLockWaitHook(func(w float64)) })
+	if !ok {
+		return
+	}
+	if m.trace == nil {
+		h.SetLockWaitHook(nil)
+		return
+	}
+	h.SetLockWaitHook(func(w float64) {
+		cyc, th := m.traceNow()
+		m.trace.Emit(trace.Event{
+			Cycle:  cyc,
+			Kind:   trace.AllocStall,
+			Thread: th,
+			From:   -1,
+			To:     -1,
+			Cost:   w,
+		})
+	})
+}
+
+// maxSnapshots bounds the sample buffer; when it fills, the series is
+// thinned deterministically (every other sample dropped, cadence doubled),
+// so any run yields at most this many points regardless of length.
+const maxSnapshots = 64
+
+// StartSnapshots enables periodic counter snapshots every `every` simulated
+// cycles, clearing any previous series. Samples are taken at scheduling
+// points (between thread quanta), so each carries the counter state at the
+// first scheduling event at or after its stamp.
+func (m *Machine) StartSnapshots(every float64) {
+	if every <= 0 {
+		every = 1e8
+	}
+	m.snapEvery = every
+	m.nextSnap = m.clock + every
+	m.snaps = m.snaps[:0]
+}
+
+// Snapshots returns the samples taken since StartSnapshots.
+func (m *Machine) Snapshots() []Snapshot { return m.snaps }
+
+// pumpSnapshots takes due samples; the scheduler calls it between quanta.
+func (m *Machine) pumpSnapshots() {
+	if m.snapEvery <= 0 {
+		return
+	}
+	for m.clock >= m.nextSnap {
+		m.snaps = append(m.snaps, Snapshot{Cycle: m.nextSnap, Counters: m.Counters()})
+		m.nextSnap += m.snapEvery
+		if len(m.snaps) >= maxSnapshots {
+			kept := m.snaps[:0]
+			for i := 1; i < len(m.snaps); i += 2 {
+				kept = append(kept, m.snaps[i])
+			}
+			m.snaps = kept
+			m.snapEvery *= 2
+			m.nextSnap = m.snaps[len(m.snaps)-1].Cycle + m.snapEvery
+		}
+	}
+}

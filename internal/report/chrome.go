@@ -1,0 +1,181 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// TraceProcess is one simulated machine's event stream prepared for the
+// Chrome trace-event exporter. FreqGHz converts virtual cycles to the
+// microsecond timestamps the format requires; Name labels the process
+// track in the viewer (e.g. "fig5a/Interleave+AutoNUMA").
+type TraceProcess struct {
+	Name    string
+	FreqGHz float64
+	Events  []trace.Event
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Fields
+// are marshalled in declaration order, so output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace writes the processes' event streams as a Chrome trace-event
+// JSON array, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Each process gets its own pid with a process_name metadata record;
+// within a process, tid 0 is the kernel-daemon track and tid n+1 is
+// simulated thread n. Events with a cost become duration ("X") slices;
+// costless placement events become instants ("i"). Timestamps are virtual
+// cycles converted to microseconds at the process's clock, so the output
+// is byte-identical for identical event streams.
+func ChromeTrace(w io.Writer, procs ...TraceProcess) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for pid, p := range procs {
+		freq := p.FreqGHz
+		if freq <= 0 {
+			freq = 1
+		}
+		err := emit(chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range p.Events {
+			ev := chromeEvent{
+				Name: e.Kind.String(),
+				Ts:   e.Cycle / (freq * 1e3), // cycles -> µs
+				Pid:  pid,
+				Tid:  int(e.Thread) + 1, // tid 0 = kernel daemons
+				Args: map[string]any{},
+			}
+			if e.From >= 0 {
+				ev.Args["from_node"] = int(e.From)
+			}
+			if e.To >= 0 {
+				ev.Args["to_node"] = int(e.To)
+			}
+			if e.Addr != 0 || e.Kind == trace.AutoNUMAScan {
+				if e.Kind == trace.AutoNUMAScan {
+					ev.Args["pages_migrated"] = e.Addr
+				} else {
+					ev.Args["addr"] = fmt.Sprintf("%#x", e.Addr)
+				}
+			}
+			if e.Cost > 0 {
+				ev.Ph = "X"
+				ev.Dur = e.Cost / (freq * 1e3)
+				ev.Args["cost_cycles"] = e.Cost
+			} else {
+				ev.Ph = "i"
+				ev.S = "t"
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// TraceSummary tabulates an event stream: one row per event kind that
+// occurred, with its count, total cost and mean cost in cycles.
+func TraceSummary(events []trace.Event) *Table {
+	var counts [16]uint64
+	var costs [16]float64
+	for _, e := range events {
+		if int(e.Kind) < len(counts) {
+			counts[e.Kind]++
+			costs[e.Kind] += e.Cost
+		}
+	}
+	t := &Table{
+		Title:  "Trace summary",
+		Header: []string{"event", "count", "total cost (cycles)", "mean cost"},
+	}
+	for _, k := range trace.Kinds() {
+		if counts[k] == 0 {
+			continue
+		}
+		mean := costs[k] / float64(counts[k])
+		t.AddRow(k.String(), counts[k], fmt.Sprintf("%.0f", costs[k]), fmt.Sprintf("%.1f", mean))
+	}
+	return t
+}
+
+// TraceCostHistogram tabulates per-kind cost distributions in power-of-two
+// buckets: one row per (kind, bucket) with the event count. Costless
+// events (pure placement markers) land in the "0" bucket.
+func TraceCostHistogram(events []trace.Event) *Table {
+	const maxBucket = 40 // 2^39 cycles ≈ 4 minutes at 2.1GHz; plenty
+	hist := map[trace.Kind]*[maxBucket + 1]uint64{}
+	for _, e := range events {
+		h := hist[e.Kind]
+		if h == nil {
+			h = &[maxBucket + 1]uint64{}
+			hist[e.Kind] = h
+		}
+		b := 0
+		if e.Cost >= 1 {
+			b = int(math.Floor(math.Log2(e.Cost))) + 1
+			if b > maxBucket {
+				b = maxBucket
+			}
+		}
+		h[b]++
+	}
+	t := &Table{
+		Title:  "Trace cost histogram (power-of-two cycle buckets)",
+		Header: []string{"event", "cost bucket", "count"},
+	}
+	for _, k := range trace.Kinds() {
+		h := hist[k]
+		if h == nil {
+			continue
+		}
+		for b, n := range h {
+			if n == 0 {
+				continue
+			}
+			label := "0"
+			if b > 0 {
+				label = fmt.Sprintf("[%d, %d)", 1<<(b-1), 1<<b)
+			}
+			t.AddRow(k.String(), label, n)
+		}
+	}
+	return t
+}

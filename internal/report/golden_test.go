@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// goldenTable is a fixed table exercising every formatting path: floats,
+// ints, strings, and a cell needing CSV quoting.
+func goldenTable() *Table {
+	t := &Table{
+		Title:  "golden: render formats",
+		Header: []string{"name", "cycles", "note"},
+	}
+	t.AddRow("plain", 1234.5678, "ok")
+	t.AddRow("quoted", 2.0, "a,b \"c\"")
+	t.AddRow("int", 42, "")
+	return t
+}
+
+// goldenEvents is a fixed event stream covering duration events, instant
+// events, node fields, the AutoNUMA pages payload and a daemon thread.
+func goldenEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.ThreadMigration, Cycle: 1000, Thread: 3, From: 0, To: 2, Cost: 12000},
+		{Kind: trace.PageFault, Cycle: 2048, Addr: 0x4000, Thread: 1, From: 1, To: 1},
+		{Kind: trace.AutoNUMAScan, Cycle: 5_000_000, Addr: 17, Thread: -1, From: -1, To: -1, Cost: 250_000},
+		{Kind: trace.AllocStall, Cycle: 6_000_000, Thread: 0, From: -1, To: -1, Cost: 64},
+		{Kind: trace.Coherence, Cycle: 7_000_000, Addr: 0x1fc0, Thread: 2, From: 3, To: 0, Cost: 130},
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// instead when UPDATE_GOLDEN=1.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenTable().Render(&buf)
+	checkGolden(t, "table.txt", buf.Bytes())
+}
+
+func TestRenderCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenTable().RenderCSV(&buf)
+	checkGolden(t, "table.csv", buf.Bytes())
+}
+
+func TestRenderJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.json", buf.Bytes())
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := ChromeTrace(&buf,
+		TraceProcess{Name: "Machine A", FreqGHz: 2.1, Events: goldenEvents()},
+		TraceProcess{Name: "Machine B", FreqGHz: 2.1, Events: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome.json", buf.Bytes())
+}
+
+func TestTraceSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	TraceSummary(goldenEvents()).Render(&buf)
+	checkGolden(t, "trace_summary.txt", buf.Bytes())
+}
+
+func TestTraceCostHistogramGolden(t *testing.T) {
+	var buf bytes.Buffer
+	TraceCostHistogram(goldenEvents()).Render(&buf)
+	checkGolden(t, "trace_hist.txt", buf.Bytes())
+}

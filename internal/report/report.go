@@ -1,8 +1,10 @@
-// Package report renders experiment results as aligned text tables and
-// CSV, the two formats the benchmark harness emits.
+// Package report renders experiment results as aligned text tables, CSV
+// and JSON, plus the trace exporters (Chrome trace-event JSON and
+// event-cost histograms) built on internal/trace.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -15,8 +17,12 @@ type Table struct {
 	Rows   [][]string
 }
 
-// AddRow appends a row of cells (stringified with %v).
-func (t *Table) AddRow(cells ...interface{}) {
+// AddRow appends a row of cells (float64s formatted as %.3f, everything
+// else with %v). When the table has a header and the row's arity differs
+// from it, AddRow reports an error; the row is still appended, so callers
+// that ignore the error keep the historical (misaligned) rendering rather
+// than silently losing data.
+func (t *Table) AddRow(cells ...any) error {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -27,6 +33,11 @@ func (t *Table) AddRow(cells ...interface{}) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	if len(t.Header) > 0 && len(cells) != len(t.Header) {
+		return fmt.Errorf("report: table %q row %d has %d cells, header has %d",
+			t.Title, len(t.Rows)-1, len(cells), len(t.Header))
+	}
+	return nil
 }
 
 // Render writes the table as aligned text.
@@ -83,6 +94,25 @@ func (t *Table) RenderCSV(w io.Writer) {
 	for _, row := range t.Rows {
 		writeRow(row)
 	}
+}
+
+// RenderJSON writes the table as one JSON object: {"title", "header",
+// "rows"}, with rows as arrays of pre-formatted strings. The output is
+// deterministic for a given table and ends with a newline.
+func (t *Table) RenderJSON(w io.Writer) error {
+	doc := struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.Title, Header: t.Header, Rows: t.Rows}
+	if doc.Header == nil {
+		doc.Header = []string{}
+	}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
 }
 
 // Pct formats a fraction as a signed percentage, e.g. 0.125 -> "+12.5%".

@@ -1,0 +1,158 @@
+// Package trace defines the simulator's cycle-stamped event stream: the
+// observability layer beneath the perf-counter totals. The machine, vmm and
+// allocator layers emit one Event per interesting mechanism firing — thread
+// migrations, page faults and placements, hugepage mappings, collapses and
+// splits, AutoNUMA scan passes and page migrations, allocator
+// lock-contention stalls, and cache-coherence transfers — through a Sink
+// that costs nothing when nil (every hook is guarded by a nil check).
+//
+// Because events are produced by the same deterministic simulation that
+// produces the counters, a fixed seed yields a byte-identical event stream
+// regardless of how many grid cells run concurrently around it: each
+// simulated machine owns its sink, and events are appended in virtual-time
+// execution order.
+package trace
+
+import "fmt"
+
+// Kind classifies a simulator event.
+type Kind uint8
+
+const (
+	// ThreadMigration: a thread moved to a new hardware context. Thread is
+	// the mover, From/To its old and new NUMA nodes, Cost the reschedule
+	// stall charged.
+	ThreadMigration Kind = iota
+	// PageFault: a 4KiB page was mapped by demand paging. Addr is the page
+	// base, From the touching thread's node, To the node the page was
+	// placed on.
+	PageFault
+	// HugeMap: the THP "always" fault path installed a whole 2MiB mapping.
+	// Addr is the group base, From the toucher's node, To the placed node.
+	HugeMap
+	// PageMigration: a mapped page moved between nodes (AutoNUMA). Addr is
+	// the page base, From/To the old and new homes.
+	PageMigration
+	// HugeCollapse: khugepaged merged 512 base pages into one hugepage.
+	// Addr is the group base, To the backing node.
+	HugeCollapse
+	// HugeSplit: a hugepage was split back into base pages (partial unmap
+	// or pre-migration). Addr is the group base, From the backing node.
+	HugeSplit
+	// AutoNUMAScan: one NUMA-balancing pass completed. Addr carries the
+	// number of pages migrated by the pass, Cost the per-thread scan stall
+	// it charged (sampling plus hint faults).
+	AutoNUMAScan
+	// AllocStall: an allocator lock-contention wait. Thread is the caller,
+	// Cost the expected wait cycles.
+	AllocStall
+	// Coherence: a cache-to-cache transfer of a line dirty on another
+	// node. Addr is the line base, From the owning node, To the accessor's
+	// node, Cost the transfer cycles.
+	Coherence
+
+	numKinds
+)
+
+// Kinds lists every event kind in emission-stable order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// String returns the kind's stable name (used by exporters and tables).
+func (k Kind) String() string {
+	switch k {
+	case ThreadMigration:
+		return "thread_migration"
+	case PageFault:
+		return "page_fault"
+	case HugeMap:
+		return "huge_map"
+	case PageMigration:
+		return "page_migration"
+	case HugeCollapse:
+		return "huge_collapse"
+	case HugeSplit:
+		return "huge_split"
+	case AutoNUMAScan:
+		return "autonuma_scan"
+	case AllocStall:
+		return "alloc_stall"
+	case Coherence:
+		return "coherence"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one cycle-stamped simulator event. Cycle is virtual time: the
+// running thread's clock during a quantum, the machine's global clock for
+// daemon activity between quanta. Field semantics per kind are documented
+// on the Kind constants; -1 marks a field that does not apply.
+type Event struct {
+	Cycle  float64
+	Addr   uint64
+	Cost   float64
+	Kind   Kind
+	Thread int32 // emitting thread id, -1 for kernel daemons
+	From   int16 // source NUMA node, -1 if n/a
+	To     int16 // destination NUMA node, -1 if n/a
+}
+
+// Sink consumes events. Implementations must not retain pointers into the
+// simulator; the Event value is self-contained.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Recorder is the standard in-memory sink: it appends every event in
+// emission order and keeps running per-kind totals so summaries need no
+// second pass.
+type Recorder struct {
+	Events []Event
+
+	counts [numKinds]uint64
+	costs  [numKinds]float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) {
+	r.Events = append(r.Events, e)
+	if e.Kind < numKinds {
+		r.counts[e.Kind]++
+		r.costs[e.Kind] += e.Cost
+	}
+}
+
+// Count returns how many events of kind k were recorded.
+func (r *Recorder) Count(k Kind) uint64 {
+	if k >= numKinds {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// TotalCost returns the summed Cost of all events of kind k.
+func (r *Recorder) TotalCost(k Kind) float64 {
+	if k >= numKinds {
+		return 0
+	}
+	return r.costs[k]
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// Reset drops all recorded events and totals, keeping the backing storage.
+func (r *Recorder) Reset() {
+	r.Events = r.Events[:0]
+	r.counts = [numKinds]uint64{}
+	r.costs = [numKinds]float64{}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != int(numKinds) {
+		t.Fatalf("Kinds() returned %d kinds, want %d", len(seen), numKinds)
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("out-of-range kind rendered %q", got)
+	}
+}
+
+func TestRecorderCountsAndCosts(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: PageFault, Cycle: 10, Thread: 0})
+	r.Emit(Event{Kind: PageFault, Cycle: 20, Thread: 1})
+	r.Emit(Event{Kind: Coherence, Cycle: 30, Cost: 130})
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	if r.Count(PageFault) != 2 || r.Count(Coherence) != 1 || r.Count(HugeSplit) != 0 {
+		t.Fatalf("counts wrong: fault=%d coherence=%d split=%d",
+			r.Count(PageFault), r.Count(Coherence), r.Count(HugeSplit))
+	}
+	if r.TotalCost(Coherence) != 130 {
+		t.Fatalf("TotalCost(Coherence) = %v, want 130", r.TotalCost(Coherence))
+	}
+	if len(r.Events) != 3 || r.Events[1].Cycle != 20 {
+		t.Fatalf("event stream not preserved in order: %+v", r.Events)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Count(PageFault) != 0 || r.TotalCost(Coherence) != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Page geometry. The simulator uses the same 4KiB base pages and 2MiB huge
@@ -125,6 +126,12 @@ type Memory struct {
 	Migrations  uint64 // page migrations
 	Promotions  uint64 // hugepage promotions
 	Splits      uint64 // hugepage splits
+
+	// Trace hooks, attached by the machine layer. sink is nil unless
+	// tracing is on; now supplies the virtual timestamp and the acting
+	// thread id (-1 for kernel daemons) for each event.
+	sink trace.Sink
+	now  func() (cycle float64, thread int32)
 }
 
 type reservation struct {
@@ -151,6 +158,27 @@ func (m *Memory) SetPolicy(p Policy, preferred topology.NodeID) {
 
 // Policy returns the active placement policy.
 func (m *Memory) Policy() Policy { return m.policy }
+
+// SetTrace attaches an event sink. now supplies the virtual cycle stamp
+// and acting thread id for each event (the machine layer reads them from
+// its scheduler state). A nil sink disables tracing; every emission site
+// is guarded, so the disabled path costs one pointer compare.
+func (m *Memory) SetTrace(sink trace.Sink, now func() (cycle float64, thread int32)) {
+	m.sink = sink
+	m.now = now
+}
+
+func (m *Memory) emit(kind trace.Kind, addr uint64, from, to topology.NodeID) {
+	cyc, th := m.now()
+	m.sink.Emit(trace.Event{
+		Cycle:  cyc,
+		Kind:   kind,
+		Thread: th,
+		From:   int16(from),
+		To:     int16(to),
+		Addr:   addr,
+	})
+}
 
 // SetTHP toggles Transparent Hugepages "always" mode: faults inside a
 // reservation that fully covers an untouched 2MiB-aligned group map the
@@ -258,6 +286,9 @@ func (m *Memory) Fault(addr uint64, toucher topology.NodeID) Fault {
 	m.used[target] += PageSize
 	m.Mapped++
 	m.MinorFaults++
+	if m.sink != nil {
+		m.emit(trace.PageFault, vpn<<PageShift, toucher, target)
+	}
 	return Fault{Node: target, Kind: MinorFault}
 }
 
@@ -306,6 +337,9 @@ func (m *Memory) hugeFault(vpn uint64, toucher, owner topology.NodeID) (Fault, b
 	m.Mapped += PagesPerHuge
 	m.MinorFaults++ // one fault installs the whole mapping
 	m.Promotions++
+	if m.sink != nil {
+		m.emit(trace.HugeMap, base<<PageShift, toucher, target)
+	}
 	return Fault{Node: target, Kind: MinorFault, Huge: true, HugeMapped: true}, true
 }
 
@@ -387,10 +421,14 @@ func (m *Memory) MigratePage(addr uint64, to topology.NodeID) bool {
 	if m.used[to]+PageSize > m.perNode {
 		return false
 	}
+	from := topology.NodeID(e.node)
 	m.used[e.node] -= PageSize
 	m.used[to] += PageSize
 	e.node = int8(to)
 	m.Migrations++
+	if m.sink != nil {
+		m.emit(trace.PageMigration, vpn<<PageShift, from, to)
+	}
 	return true
 }
 
@@ -418,6 +456,9 @@ func (m *Memory) PromoteHuge(addr uint64) bool {
 		m.table[vpn].flags |= flagHuge
 	}
 	m.Promotions++
+	if m.sink != nil {
+		m.emit(trace.HugeCollapse, base<<PageShift, -1, topology.NodeID(node))
+	}
 	return true
 }
 
@@ -439,6 +480,9 @@ func (m *Memory) splitVPN(vpn uint64) bool {
 		m.table[p].flags &^= flagHuge
 	}
 	m.Splits++
+	if m.sink != nil {
+		m.emit(trace.HugeSplit, base<<PageShift, topology.NodeID(m.table[base].node), -1)
+	}
 	return true
 }
 

@@ -34,10 +34,13 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/query"
+	"repro/internal/report"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 	"repro/internal/vmm"
 )
 
@@ -171,4 +174,79 @@ var (
 	EngineProfiles = tpch.Profiles
 	EngineByName   = tpch.ProfileByName
 	NewTPCHHarness = tpch.NewHarness
+)
+
+// Event tracing. Attach a TraceRecorder to a Machine with SetTrace and
+// every simulator event — thread migrations, page faults and migrations,
+// hugepage collapses and splits, AutoNUMA scan passes, allocator
+// lock-contention stalls, coherence transfers — is recorded with its
+// simulated cycle timestamp. A nil sink costs nothing. See
+// examples/trace for an end-to-end walkthrough.
+type (
+	// TraceEvent is one cycle-stamped simulator event.
+	TraceEvent = trace.Event
+	// TraceKind enumerates the event types.
+	TraceKind = trace.Kind
+	// TraceSink receives events as they happen.
+	TraceSink = trace.Sink
+	// TraceRecorder is the standard in-memory sink.
+	TraceRecorder = trace.Recorder
+	// MachineSnapshot is one periodic counter sample (see
+	// Machine.StartSnapshots).
+	MachineSnapshot = machine.Snapshot
+	// TraceProcess groups one machine's events for Chrome trace export.
+	TraceProcess = report.TraceProcess
+)
+
+// NewTraceRecorder builds an in-memory event sink; TraceKinds lists every
+// event type.
+var (
+	NewTraceRecorder = trace.NewRecorder
+	TraceKinds       = trace.Kinds
+)
+
+// ChromeTrace writes events as a Chrome trace-event JSON file (loadable
+// in Perfetto or chrome://tracing); TraceSummary and TraceCostHistogram
+// aggregate an event stream into report tables.
+var (
+	ChromeTrace        = report.ChromeTrace
+	TraceSummary       = report.TraceSummary
+	TraceCostHistogram = report.TraceCostHistogram
+)
+
+// Experiment drivers and the structured results pipeline.
+type (
+	// Experiment describes one registered experiment: id, title, the
+	// paper artifact it reproduces, and its driver (call Run).
+	Experiment = experiments.Descriptor
+	// ExperimentResult is a driver's unified output: rendered tables plus
+	// one BenchRecord per grid cell.
+	ExperimentResult = experiments.Result
+	// BenchRecord is one grid cell's structured result, serializable as
+	// JSONL under schema repro/bench/v1.
+	BenchRecord = experiments.Record
+	// Scale sizes an experiment's datasets.
+	Scale = experiments.Scale
+	// Table is a rendered result table (text, CSV or JSON).
+	Table = report.Table
+)
+
+// Experiment registry access and the JSONL results sink.
+var (
+	// Experiments lists every registered experiment sorted by id.
+	Experiments = experiments.Descriptors
+	// ExperimentByID resolves an experiment id ("fig5a", ...).
+	ExperimentByID = experiments.Lookup
+	// WriteJSONL and ReadJSONL serialize bench records; ReadJSONL
+	// validates the schema strictly.
+	WriteJSONL = experiments.WriteJSONL
+	ReadJSONL  = experiments.ReadJSONL
+)
+
+// Experiment scales, smallest to largest.
+var (
+	ScaleTiny    = experiments.Tiny
+	ScaleSmall   = experiments.Small
+	ScaleCal     = experiments.Cal
+	ScaleDefault = experiments.Default
 )
