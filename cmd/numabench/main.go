@@ -10,16 +10,24 @@
 //	numabench -experiment all -scale cal -parallel 4
 //	numabench -experiment fig2 -scale tiny -json results.jsonl
 //	numabench -experiment fig5a -scale tiny -trace trace.json
+//	numabench -experiment profile -scale cal -breakdown -folded profile.folded
 //	numabench -validate results.jsonl
 //	numabench -list
 //
-// -json appends one JSONL record per grid cell (schema repro/bench/v1;
-// see internal/experiments.SchemaVersion). -trace additionally records
+// -json appends one JSONL record per grid cell (schema repro/bench/v2;
+// see internal/experiments.SchemaVersion — the validator also accepts v1
+// files written before the profiler existed). -trace additionally records
 // every simulator event — thread migrations, page faults and migrations,
 // hugepage collapses and splits, AutoNUMA scans, allocator stalls,
 // coherence transfers — and writes a Chrome trace-event file loadable in
-// Perfetto. Both are byte-identical for a fixed seed at any -parallel
-// setting, except the host_ns field of JSONL records.
+// Perfetto, with counter tracks from the periodic snapshots. -breakdown
+// attaches the cycle-attribution profiler to every grid cell and prints
+// each experiment's percentage-stacked component breakdown; -folded
+// writes the same attribution as folded stacks (open in speedscope:
+// Import > pick the file). All of these are byte-identical for a fixed
+// seed at any -parallel setting, except the host_ns field of JSONL
+// records. -cpuprofile/-memprofile capture host pprof profiles of the
+// simulator itself.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -43,34 +52,31 @@ func scales() map[string]experiments.Scale {
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		exp       = flag.String("experiment", "", "comma-separated experiment ids (see -list) or 'all'")
-		scale     = flag.String("scale", "small", "dataset scale: tiny, small, cal or default")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list      = flag.Bool("list", false, "list experiments (id, artifact, title) and exit")
-		showTime  = flag.Bool("time", true, "print per-experiment elapsed wall time")
-		parallel  = flag.Int("parallel", 1, "grid worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
-		progress  = flag.Bool("progress", false, "report grid cell progress on stderr")
-		jsonPath  = flag.String("json", "", "append one JSONL record per grid cell to this file")
-		tracePath = flag.String("trace", "", "record per-cell event traces and write a Chrome trace-event file")
-		validate  = flag.String("validate", "", "validate a JSONL results file against the schema and exit")
+		exp        = flag.String("experiment", "", "comma-separated experiment ids (see -list) or 'all'")
+		scale      = flag.String("scale", "small", "dataset scale: tiny, small, cal or default")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list       = flag.Bool("list", false, "list experiments (id, artifact, title) and exit")
+		showTime   = flag.Bool("time", true, "print per-experiment elapsed wall time")
+		parallel   = flag.Int("parallel", 1, "grid worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
+		progress   = flag.Bool("progress", false, "report grid cell progress on stderr")
+		breakdown  = flag.Bool("breakdown", false, "attach the cycle profiler and print per-experiment component breakdowns")
+		foldedPath = flag.String("folded", "", "attach the cycle profiler and write folded stacks (speedscope-loadable) to this file")
 	)
+	var shared cli.Flags
+	shared.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *validate != "" {
-		f, err := os.Open(*validate)
+	if done, err := shared.HandleValidate(os.Stdout); done {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		recs, err := experiments.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *validate, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s: %d records, schema %s\n", *validate, len(recs), experiments.SchemaVersion)
 		return
 	}
 
@@ -110,20 +116,28 @@ func main() {
 		}
 	}
 
+	stopProfiles, err := shared.StartHostProfiles()
+	if err != nil {
+		fatal(err)
+	}
+
 	var jsonFile *os.File
-	if *jsonPath != "" {
-		f, err := os.OpenFile(*jsonPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if shared.JSON != "" {
+		f, err := os.OpenFile(shared.JSON, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		jsonFile = f
 	}
-	if *tracePath != "" {
+	if shared.Trace != "" {
 		experiments.SetCellTracing(true)
 	}
+	if *breakdown || *foldedPath != "" {
+		experiments.SetCellProfiling(true)
+	}
 	var traced []report.TraceProcess
+	var folded []report.FoldedProfile
 
 	for _, id := range todo {
 		r := core.Runner{Workers: *parallel}
@@ -139,10 +153,16 @@ func main() {
 		start := time.Now()
 		res, err := d.Run(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", id, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", id, err))
 		}
-		for _, tab := range res.Tables {
+		tables := res.Tables
+		if *breakdown {
+			if cols := breakdownColumns(res); len(cols) > 0 {
+				tables = append(tables, report.BreakdownTable(
+					id+": cycle breakdown (% of attributed cycles)", cols...))
+			}
+		}
+		for _, tab := range tables {
 			if *csv {
 				tab.RenderCSV(os.Stdout)
 			} else {
@@ -152,41 +172,45 @@ func main() {
 		}
 		if jsonFile != nil {
 			if err := experiments.WriteJSONL(jsonFile, res.Records); err != nil {
-				fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *jsonPath, err)
-				os.Exit(1)
+				fatal(fmt.Errorf("%s: %w", shared.JSON, err))
 			}
 		}
-		if *tracePath != "" {
-			for i := range res.Records {
-				rec := &res.Records[i]
-				if ev := rec.TraceEvents(); len(ev) > 0 {
-					traced = append(traced, report.TraceProcess{
-						Name:    res.Id + "/" + rec.Cell,
-						FreqGHz: rec.FreqGHz,
-						Events:  ev,
-					})
-				}
-			}
+		if shared.Trace != "" {
+			traced = append(traced, cli.RecordTraces(res)...)
+		}
+		if *foldedPath != "" {
+			folded = append(folded, cli.RecordFolded(res)...)
 		}
 		if *showTime {
 			fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
 		}
 	}
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := report.ChromeTrace(f, traced...); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *tracePath, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "numabench: %s: %v\n", *tracePath, err)
-			os.Exit(1)
+	if shared.Trace != "" {
+		if err := cli.WriteChromeTrace(shared.Trace, traced); err != nil {
+			fatal(fmt.Errorf("%s: %w", shared.Trace, err))
 		}
 	}
+	if *foldedPath != "" {
+		if err := cli.WriteFolded(*foldedPath, folded); err != nil {
+			fatal(fmt.Errorf("%s: %w", *foldedPath, err))
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+}
+
+// breakdownColumns builds one breakdown column per profiled grid cell of
+// an experiment result.
+func breakdownColumns(res *experiments.Result) []report.BreakdownColumn {
+	var cols []report.BreakdownColumn
+	for i := range res.Records {
+		rec := &res.Records[i]
+		if rec.Profile == nil {
+			continue
+		}
+		cols = append(cols, report.BreakdownColumn{Name: rec.Cell, Profile: rec.Profile})
+	}
+	return cols
 }

@@ -15,11 +15,15 @@
 //	tpchbench -sf 0.005 -parallel 4           # same tables, less wall time
 //	tpchbench -sf 0.005 -engine MonetDB -q 5,18 -allocators
 //	tpchbench -sf 0.005 -json results.jsonl   # one record per harness run
+//	tpchbench -sf 0.005 -trace trace.json     # Chrome trace per harness
+//	tpchbench -validate results.jsonl
 //
-// -json appends one structured record per harness run (schema
-// repro/bench/v1, same layout as numabench -json; validate with
-// numabench -validate). Per-query wall cycles land in the record's extra
-// map as q1..q22.
+// The output flags are shared with numabench (same names, same formats;
+// see internal/cli): -json appends one structured record per harness run
+// (schema repro/bench/v2, validate with either command's -validate),
+// -trace writes a Chrome trace-event file with one process per harness
+// run, and -cpuprofile/-memprofile capture host pprof profiles. Per-query
+// wall cycles land in the record's extra map as q1..q22.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/machine"
@@ -76,17 +81,9 @@ func harnessRecord(start time.Time, cell string, labels map[string]string,
 	}
 }
 
-// appendJSONL appends records to path, creating it if needed.
-func appendJSONL(path string, recs []experiments.Record) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	if err := experiments.WriteJSONL(f, recs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpchbench:", err)
+	os.Exit(1)
 }
 
 func main() {
@@ -98,13 +95,25 @@ func main() {
 	seed := flag.Uint64("seed", 41, "dataset seed")
 	parallel := flag.Int("parallel", 1, "harness worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
 	progress := flag.Bool("progress", false, "report harness progress on stderr")
-	jsonPath := flag.String("json", "", "append one JSONL record per harness run to this file")
+	var shared cli.Flags
+	shared.Register(flag.CommandLine)
 	flag.Parse()
+
+	if done, err := shared.HandleValidate(os.Stdout); done {
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	queries, err := parseQueries(*queriesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpchbench:", err)
 		os.Exit(2)
+	}
+	stopProfiles, err := shared.StartHostProfiles()
+	if err != nil {
+		fatal(err)
 	}
 	runner := core.Runner{Workers: *parallel}
 	if *progress {
@@ -119,9 +128,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench: -allocators requires -engine")
 			os.Exit(2)
 		}
-		if err := sweepAllocators(runner, db, *engine, queries, *warm, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "tpchbench:", err)
-			os.Exit(1)
+		if err := sweepAllocators(runner, db, *engine, queries, *warm, shared); err != nil {
+			fatal(err)
+		}
+		if err := stopProfiles(); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -139,11 +150,7 @@ func main() {
 	// One cell per (profile, config): a harness caches engine state across
 	// queries, so the harness run is the unit of parallelism.
 	const configs = 2 // 0 = OS default, 1 = tuned
-	type cell struct {
-		walls []float64
-		rec   experiments.Record
-	}
-	cells, err := core.Collect(runner, len(profiles)*configs, func(i int) (cell, error) {
+	cells, err := core.Collect(runner, len(profiles)*configs, func(i int) (harnessCell, error) {
 		start := time.Now()
 		p := profiles[i/configs]
 		var cfg machine.RunConfig
@@ -162,19 +169,12 @@ func main() {
 				THP:       p.Name == "DBMSx",
 			}
 		}
-		h := tpch.NewHarness(spec, p, cfg, db, *warm)
-		out := make([]float64, 0, len(queries))
-		for _, q := range queries {
-			w, _ := h.Measure(q)
-			out = append(out, w)
-		}
-		return cell{out, harnessRecord(start, p.Name+"/"+which,
-			map[string]string{"engine": p.Name, "config": which},
-			h, cfg, queries, out)}, nil
+		return runHarness(start, spec, p, cfg, db, *warm, queries,
+			p.Name+"/"+which, map[string]string{"engine": p.Name, "config": which},
+			shared.Trace != "")
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpchbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	for qi, q := range queries {
 		row := []any{"Q" + strconv.Itoa(q)}
@@ -186,19 +186,71 @@ func main() {
 		tab.AddRow(row...)
 	}
 	tab.Render(os.Stdout)
-	if *jsonPath != "" {
+	if err := writeOutputs(shared, cells); err != nil {
+		fatal(err)
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+}
+
+// harnessCell is one completed harness run: per-query walls, its JSONL
+// record, and (when -trace is on) its Chrome trace process.
+type harnessCell struct {
+	walls  []float64
+	rec    experiments.Record
+	tp     report.TraceProcess
+	traced bool
+}
+
+// runHarness executes one harness configuration over the query list,
+// optionally tracing its machine.
+func runHarness(start time.Time, spec machine.Spec, p tpch.Profile, cfg machine.RunConfig,
+	db *tpch.DB, warm int, queries []int, cell string, labels map[string]string,
+	tracing bool) (harnessCell, error) {
+	h := tpch.NewHarness(spec, p, cfg, db, warm)
+	if tracing {
+		cli.AttachTrace(h.Engine.M)
+	}
+	out := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		w, _ := h.Measure(q)
+		out = append(out, w)
+	}
+	c := harnessCell{walls: out, rec: harnessRecord(start, cell, labels, h, cfg, queries, out)}
+	if tracing {
+		c.tp, c.traced = cli.TraceOf(cell, h.Engine.M)
+	}
+	return c, nil
+}
+
+// writeOutputs appends the cells' records to -json and writes the -trace
+// file, in cell index order so output is parallelism-independent.
+func writeOutputs(shared cli.Flags, cells []harnessCell) error {
+	if shared.JSON != "" {
 		recs := make([]experiments.Record, len(cells))
 		for i := range cells {
 			recs[i] = cells[i].rec
 		}
-		if err := appendJSONL(*jsonPath, recs); err != nil {
-			fmt.Fprintln(os.Stderr, "tpchbench:", err)
-			os.Exit(1)
+		if err := cli.AppendJSONL(shared.JSON, recs); err != nil {
+			return err
 		}
 	}
+	if shared.Trace != "" {
+		var procs []report.TraceProcess
+		for i := range cells {
+			if cells[i].traced {
+				procs = append(procs, cells[i].tp)
+			}
+		}
+		if err := cli.WriteChromeTrace(shared.Trace, procs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int, jsonPath string) error {
+func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int, shared cli.Flags) error {
 	prof := tpch.ProfileByName(engine)
 	spec := machine.SpecA()
 	tab := &report.Table{Title: engine + " query latency by allocator (billion cycles)"}
@@ -207,11 +259,7 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 		tab.Header = append(tab.Header, "Q"+strconv.Itoa(q))
 	}
 	names := alloc.WorkloadNames()
-	type cell struct {
-		walls []float64
-		rec   experiments.Record
-	}
-	cells, err := core.Collect(runner, len(names), func(i int) (cell, error) {
+	cells, err := core.Collect(runner, len(names), func(i int) (harnessCell, error) {
 		start := time.Now()
 		cfg := machine.RunConfig{
 			Threads:   spec.HardwareThreads(),
@@ -220,15 +268,9 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 			Allocator: names[i],
 			Seed:      1,
 		}
-		h := tpch.NewHarness(spec, prof, cfg, db, warm)
-		out := make([]float64, 0, len(queries))
-		for _, q := range queries {
-			w, _ := h.Measure(q)
-			out = append(out, w)
-		}
-		return cell{out, harnessRecord(start, prof.Name+"/"+names[i],
-			map[string]string{"engine": prof.Name, "allocator": names[i]},
-			h, cfg, queries, out)}, nil
+		return runHarness(start, spec, prof, cfg, db, warm, queries,
+			prof.Name+"/"+names[i], map[string]string{"engine": prof.Name, "allocator": names[i]},
+			shared.Trace != "")
 	})
 	if err != nil {
 		return err
@@ -241,14 +283,7 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 		tab.AddRow(row...)
 	}
 	tab.Render(os.Stdout)
-	if jsonPath != "" {
-		recs := make([]experiments.Record, len(cells))
-		for i := range cells {
-			recs[i] = cells[i].rec
-		}
-		return appendJSONL(jsonPath, recs)
-	}
-	return nil
+	return writeOutputs(shared, cells)
 }
 
 func parseQueries(s string) ([]int, error) {

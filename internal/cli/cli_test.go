@@ -1,0 +1,182 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// TestFlagParity pins the shared flag names: both CLIs register this
+// exact set, so renaming one here renames it everywhere.
+func TestFlagParity(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	want := []string{"cpuprofile", "json", "memprofile", "trace", "validate"}
+	var got []string
+	fs.VisitAll(func(fl *flag.Flag) { got = append(got, fl.Name) })
+	if len(got) != len(want) {
+		t.Fatalf("registered flags %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered flags %v, want %v", got, want)
+		}
+	}
+}
+
+func testRecord(cell string) experiments.Record {
+	return experiments.Record{
+		Schema:     experiments.SchemaVersion,
+		Experiment: "test",
+		Cell:       cell,
+	}
+}
+
+func TestAppendAndValidateJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	if err := AppendJSONL(path, []experiments.Record{testRecord("a")}); err != nil {
+		t.Fatal(err)
+	}
+	// Append must extend, not truncate.
+	if err := AppendJSONL(path, []experiments.Record{testRecord("b")}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("validated %d records, want 2", n)
+	}
+	if err := os.WriteFile(path, []byte(`{"bogus":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSONL(path); err == nil {
+		t.Fatal("ValidateJSONL accepted a schemaless record")
+	}
+}
+
+// TestAttachTraceAndTraceOf runs a tiny workload on a traced machine and
+// checks the collected process carries events and snapshots.
+func TestAttachTraceAndTraceOf(t *testing.T) {
+	m := machine.NewB()
+	cfg := machine.DefaultConfig(4)
+	cfg.AutoNUMA = true
+	m.Configure(cfg)
+	AttachTrace(m)
+	m.Run(4, func(th *machine.Thread) {
+		base := th.Malloc(1 << 16)
+		for i := 0; i < 200; i++ {
+			th.Write(base+uint64(i)*64, 64)
+		}
+		th.Free(base, 1<<16)
+	})
+	tp, ok := TraceOf("cell", m)
+	if !ok {
+		t.Fatal("TraceOf found no events on a traced machine")
+	}
+	if tp.Name != "cell" || tp.FreqGHz != m.Spec.FreqGHz || len(tp.Events) == 0 {
+		t.Fatalf("TraceOf = %+v", tp)
+	}
+
+	// An untraced machine yields nothing.
+	m2 := machine.NewB()
+	m2.Configure(machine.DefaultConfig(4))
+	if _, ok := TraceOf("cell", m2); ok {
+		t.Fatal("TraceOf reported a trace for an untraced machine")
+	}
+}
+
+// TestRecordCollectors checks RecordTraces/RecordFolded use the id/cell
+// naming the determinism tests pin down and skip unprofiled records.
+func TestRecordCollectors(t *testing.T) {
+	m := machine.NewB()
+	m.Configure(machine.DefaultConfig(2))
+	m.SetProfiling(true)
+	m.Run(2, func(th *machine.Thread) { th.Charge(100) })
+	res := &experiments.Result{Id: "exp", Records: []experiments.Record{
+		{Cell: "plain"},
+		{Cell: "profiled", Profile: m.Profile()},
+	}}
+	folded := RecordFolded(res)
+	if len(folded) != 1 || folded[0].Name != "exp/profiled" {
+		t.Fatalf("RecordFolded = %+v", folded)
+	}
+	if procs := RecordTraces(res); len(procs) != 0 {
+		t.Fatalf("RecordTraces invented %d processes for untraced records", len(procs))
+	}
+}
+
+func TestWriteFoldedAndChromeTrace(t *testing.T) {
+	m := machine.NewB()
+	m.Configure(machine.DefaultConfig(2))
+	m.SetProfiling(true)
+	AttachTrace(m)
+	m.Run(2, func(th *machine.Thread) {
+		base := th.Malloc(4096)
+		th.Write(base, 64)
+		th.Free(base, 4096)
+	})
+
+	dir := t.TempDir()
+	fp := filepath.Join(dir, "p.folded")
+	if err := WriteFolded(fp, []report.FoldedProfile{{Name: "c", Profile: m.Profile()}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "c;thread 0;") {
+		t.Fatalf("folded output missing frames:\n%s", b)
+	}
+
+	tp, ok := TraceOf("c", m)
+	if !ok {
+		t.Fatal("no trace")
+	}
+	cp := filepath.Join(dir, "t.json")
+	if err := WriteChromeTrace(cp, []report.TraceProcess{tp}); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = os.ReadFile(cp); err != nil || len(b) == 0 {
+		t.Fatalf("chrome trace: %v, %d bytes", err, len(b))
+	}
+}
+
+// TestStartHostProfiles exercises the pprof plumbing end to end.
+func TestStartHostProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	stop, err := f.StartHostProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: %v (size %v)", p, err, fi)
+		}
+	}
+
+	// The zero value is a no-op pipeline.
+	stop, err = (&Flags{}).StartHostProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -140,6 +140,95 @@ func TestTraceDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// profileArtifacts runs the profile driver and returns its JSONL stream
+// (host_ns normalized) and folded-stack export — the acceptance artifacts
+// that must not depend on the worker count.
+func profileArtifacts(t *testing.T) (jsonl, folded []byte) {
+	t.Helper()
+	resetCaches()
+	d, err := Lookup("profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var folds []report.FoldedProfile
+	for i := range res.Records {
+		rec := &res.Records[i]
+		if rec.Profile == nil || len(rec.Breakdown) == 0 {
+			t.Fatalf("cell %s has no cycle attribution", rec.Cell)
+		}
+		folds = append(folds, report.FoldedProfile{
+			Name: res.Id + "/" + rec.Cell, Profile: rec.Profile,
+		})
+		rec.HostNS = 0 // the one nondeterministic field
+	}
+	var jb, fb bytes.Buffer
+	if err := WriteJSONL(&jb, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.FoldedStacks(&fb, folds...); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), fb.Bytes()
+}
+
+// TestProfileDeterministicUnderParallelism extends byte-identity to the
+// profiler's artifacts: the profile experiment's JSONL records (host_ns
+// normalized) and folded-stack export must match across serial, four
+// workers, and a repeated parallel run.
+func TestProfileDeterministicUnderParallelism(t *testing.T) {
+	defer SetRunner(core.Runner{})
+
+	SetRunner(core.Runner{Workers: 1})
+	jsonlSerial, foldedSerial := profileArtifacts(t)
+	if len(jsonlSerial) == 0 || len(foldedSerial) == 0 {
+		t.Fatal("empty profile artifacts")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	jsonlPar, foldedPar := profileArtifacts(t)
+	if !bytes.Equal(jsonlSerial, jsonlPar) {
+		t.Error("profile JSONL differs between serial and parallel-4 runs")
+	}
+	if !bytes.Equal(foldedSerial, foldedPar) {
+		t.Error("folded stacks differ between serial and parallel-4 runs")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	jsonlAgain, foldedAgain := profileArtifacts(t)
+	if !bytes.Equal(jsonlPar, jsonlAgain) {
+		t.Error("profile JSONL differs between two parallel-4 runs")
+	}
+	if !bytes.Equal(foldedPar, foldedAgain) {
+		t.Error("folded stacks differ between two parallel-4 runs")
+	}
+}
+
+// TestReadJSONLAcceptsV1 pins backward compatibility: records written
+// under the v1 schema (no breakdown/profile fields) still validate.
+func TestReadJSONLAcceptsV1(t *testing.T) {
+	v1 := `{"schema":"repro/bench/v1","experiment":"fig2","cell":"c1",` +
+		`"config":{"threads":1,"placement":"Sparse","policy":"FirstTouch",` +
+		`"preferred_node":0,"allocator":"ptmalloc","autonuma":false,"thp":false,"seed":1},` +
+		`"seed":1,"wall_cycles":100,"counters":{"thread_migrations":0,"cache_accesses":0,` +
+		`"cache_misses":0,"tlb_misses":0,"local_accesses":0,"remote_accesses":0,` +
+		`"minor_faults":0,"page_migrations":0,"huge_promotions":0,"huge_splits":0},"host_ns":5}` + "\n"
+	recs, err := ReadJSONL(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Schema != SchemaV1 {
+		t.Fatalf("unexpected parse: %+v", recs)
+	}
+	bad := strings.ReplaceAll(v1, "repro/bench/v1", "repro/bench/v0")
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
 // TestJSONLRoundTrip pushes real records through the writer and the
 // strict reader: the round-trip must preserve every serialized field.
 func TestJSONLRoundTrip(t *testing.T) {
@@ -196,6 +285,7 @@ func TestRecordsCoverCells(t *testing.T) {
 		"fig5a":        8,  // 4 policies x {on, off}
 		"fig5b-series": 4,  // 4 policies
 		"table3":       2,
+		"profile":      3, // default, pinned, tuned
 	}
 	for id, n := range want {
 		resetCaches()
@@ -245,6 +335,7 @@ func TestRegistryCoversRenderables(t *testing.T) {
 		"table2":       1,
 		"ablation":     1,
 		"preferred":    1,
+		"profile":      5, // Table III extended + breakdown + 3 matrices
 	}
 	for id, n := range want {
 		d, err := Lookup(id)

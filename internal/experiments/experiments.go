@@ -107,6 +107,9 @@ func machineFor(letter string) *machine.Machine {
 		m.SetTrace(trace.NewRecorder())
 		m.StartSnapshots(cellSnapEvery)
 	}
+	if cellProfiling {
+		m.SetProfiling(true)
+	}
 	return m
 }
 

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/index"
+	"repro/internal/machine"
 	"repro/internal/vmm"
 )
 
@@ -105,6 +107,70 @@ func TestTable3Shape(t *testing.T) {
 	}
 	if r.Render() == nil {
 		t.Fatal("render failed")
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	r, err := Profile(calScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 3 {
+		t.Fatalf("got %d cells", len(r.Cells))
+	}
+	def, pin := r.Cells[0], r.Cells[1]
+	// Table III directionally: pinning alone eliminates migrations, cuts
+	// cache misses and remote accesses by double digits, and raises LAR.
+	if pin.Counters.ThreadMigrations != 0 {
+		t.Errorf("pinned migrations = %d, want 0", pin.Counters.ThreadMigrations)
+	}
+	if def.Counters.ThreadMigrations < 10 {
+		t.Errorf("default migrations = %d, implausibly low", def.Counters.ThreadMigrations)
+	}
+	if float64(pin.Counters.CacheMisses) > 0.9*float64(def.Counters.CacheMisses) {
+		t.Errorf("pinning should cut cache misses >=10%%: %d vs %d",
+			pin.Counters.CacheMisses, def.Counters.CacheMisses)
+	}
+	if float64(pin.Counters.RemoteAccesses) > 0.9*float64(def.Counters.RemoteAccesses) {
+		t.Errorf("pinning should cut remote accesses >=10%%: %d vs %d",
+			pin.Counters.RemoteAccesses, def.Counters.RemoteAccesses)
+	}
+	if pin.Counters.LAR() <= def.Counters.LAR() {
+		t.Errorf("pinning should raise LAR: %v vs %v", pin.Counters.LAR(), def.Counters.LAR())
+	}
+	// The attribution explains the deltas: the default pays for thread
+	// migrations and AutoNUMA scanning; the pinned cell pays neither.
+	dTot, pTot := def.Profile.Totals(), pin.Profile.Totals()
+	if dTot[machine.BucketThreadMigration] == 0 || dTot[machine.BucketAutoNUMAScan] == 0 {
+		t.Error("default cell should attribute thread-migration and AutoNUMA-scan cycles")
+	}
+	if pTot[machine.BucketThreadMigration] != 0 || pTot[machine.BucketAutoNUMAScan] != 0 {
+		t.Error("pinned cell should attribute no migration or balancer cycles")
+	}
+	// Every cell: buckets reconcile with wall, matrix with counters.
+	for _, c := range r.Cells {
+		var sum float64
+		for _, v := range c.Profile.Totals() {
+			sum += v
+		}
+		wall := c.Profile.WallCycles()
+		if diff := math.Abs(sum - wall); diff > 1e-6*wall {
+			t.Errorf("%s: attributed %v != wall %v", c.Name, sum, wall)
+		}
+		var rows uint64
+		for _, n := range c.Profile.MatrixRowSums() {
+			rows += n
+		}
+		if rows != c.Counters.LocalAccesses+c.Counters.RemoteAccesses {
+			t.Errorf("%s: matrix total %d != Local+Remote %d", c.Name,
+				rows, c.Counters.LocalAccesses+c.Counters.RemoteAccesses)
+		}
+	}
+	if r.RenderTable3Extended() == nil || r.RenderBreakdown() == nil {
+		t.Fatal("render failed")
+	}
+	if len(r.RenderMatrices()) != 3 {
+		t.Fatal("want one matrix per cell")
 	}
 }
 

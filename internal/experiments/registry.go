@@ -216,6 +216,19 @@ func buildRegistry() map[string]Descriptor {
 			},
 		},
 		{
+			Id: "profile", Title: "Cycle attribution: component breakdown and node matrices, default vs pinned vs tuned",
+			Artifact: "Table III (extended)", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Profile(s)
+				if err != nil {
+					return nil, err
+				}
+				tables := []*report.Table{r.RenderTable3Extended(), r.RenderBreakdown()}
+				tables = append(tables, r.RenderMatrices()...)
+				return &Result{Tables: tables, Records: r.Records}, nil
+			},
+		},
+		{
 			Id: "ablation", Title: "Cost-model ablations of the headline default-vs-tuned gain",
 			Artifact: "extension", DefaultScale: "cal",
 			run: func(s Scale) (*Result, error) {

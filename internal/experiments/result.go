@@ -33,10 +33,21 @@ import (
 //	counters    object  the perf-counter profile (see machine.Counters)
 //	extra       object  driver-specific scalar outputs (e.g. "lar")
 //	snapshots   array   periodic counter samples, when enabled
+//	breakdown   object  v2: machine-wide cycle attribution, component
+//	                    bucket name -> total cycles, when cell profiling
+//	                    was on (see machine.Bucket)
+//	profile     object  v2: the full cycle-attribution profile — per-thread
+//	                    and per-node bucket breakdowns plus the N×N node
+//	                    access matrix (see machine.Profile)
 //	host_ns     number  real time the cell took on the host, nanoseconds.
 //	                    The ONLY nondeterministic field: normalize to 0
 //	                    before diffing runs.
-const SchemaVersion = "repro/bench/v1"
+const SchemaVersion = "repro/bench/v2"
+
+// SchemaV1 is the previous record layout: identical to v2 minus the
+// breakdown and profile fields. The strict reader accepts both, so files
+// written before the profiler keep validating.
+const SchemaV1 = "repro/bench/v1"
 
 // CellConfig is machine.RunConfig flattened to strings for the JSONL
 // schema, so records stay readable without this package's enum values.
@@ -80,6 +91,8 @@ type Record struct {
 	Counters   machine.Counters   `json:"counters"`
 	Extra      map[string]float64 `json:"extra,omitempty"`
 	Snapshots  []machine.Snapshot `json:"snapshots,omitempty"`
+	Breakdown  map[string]float64 `json:"breakdown,omitempty"`
+	Profile    *machine.Profile   `json:"profile,omitempty"`
 	HostNS     int64              `json:"host_ns"`
 
 	// rec is the cell's event recorder when cell tracing was on; exposed
@@ -116,6 +129,16 @@ var cellTracing bool
 // untraced cells run with a nil sink and pay nothing.
 func SetCellTracing(on bool) { cellTracing = on }
 
+// cellProfiling attaches the cycle-attribution profiler to every machine
+// built by machineFor, filling each record's breakdown and profile fields.
+// Same contract as cellTracing: set up front, don't toggle mid-driver.
+var cellProfiling bool
+
+// SetCellProfiling toggles per-cell cycle attribution for all subsequent
+// driver runs (the numabench -breakdown / -folded flags). Off by default:
+// unprofiled cells pay one nil check per hook.
+func SetCellProfiling(on bool) { cellProfiling = on }
+
 // cellSnapEvery is the snapshot cadence for traced cells and the Fig 5b
 // time series, in simulated cycles. Long runs stay bounded because the
 // machine thins the series (drops every other sample, doubles cadence)
@@ -147,6 +170,10 @@ func finishCell(start time.Time, cell string, labels map[string]string, m *machi
 	}
 	if rec, ok := m.Trace().(*trace.Recorder); ok {
 		r.rec = rec
+	}
+	if p := m.Profile(); p != nil {
+		r.Profile = p
+		r.Breakdown = p.TotalsByName()
 	}
 	return r
 }
@@ -189,8 +216,9 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
-		if rec.Schema != SchemaVersion {
-			return nil, fmt.Errorf("line %d: schema %q, want %q", line, rec.Schema, SchemaVersion)
+		if rec.Schema != SchemaVersion && rec.Schema != SchemaV1 {
+			return nil, fmt.Errorf("line %d: schema %q, want %q or %q",
+				line, rec.Schema, SchemaVersion, SchemaV1)
 		}
 		if rec.Experiment == "" || rec.Cell == "" {
 			return nil, fmt.Errorf("line %d: record missing experiment or cell id", line)

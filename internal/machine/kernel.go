@@ -54,6 +54,7 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 	for _, t := range threads {
 		if !t.done {
 			t.stall(m.P.AutoNUMASampleCost + m.P.AutoNUMAHintFault*hot)
+			m.profAdd(t, BucketAutoNUMAScan, m.P.AutoNUMASampleCost+m.P.AutoNUMAHintFault*hot)
 			t.tlb.Flush()
 		}
 	}
@@ -86,7 +87,7 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 		// Huge pages must be split before they can migrate.
 		if huge {
 			m.Mem.SplitHuge(addr)
-			m.chargeAll(threads, m.P.THPSplitCost/float64(alive))
+			m.chargeAll(threads, m.P.THPSplitCost/float64(alive), BucketTHPWork)
 		}
 		if m.Mem.MigratePage(addr, e.node) {
 			migrated++
@@ -94,11 +95,13 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 			// stalls everyone with a cached translation.
 			if th := m.threadByID(threads, e.thread); th != nil && !th.done {
 				th.stall(m.P.AutoNUMAPageCost)
+				m.profAdd(th, BucketPageMigration, m.P.AutoNUMAPageCost)
 			}
 			for _, t := range threads {
 				if !t.done {
 					t.tlb.InvalidatePage(vpn)
 					t.stall(m.P.AutoNUMAShootdown / float64(alive))
+					m.profAdd(t, BucketTLBShootdown, m.P.AutoNUMAShootdown/float64(alive))
 				}
 			}
 		}
@@ -151,10 +154,11 @@ func (m *Machine) threadByID(threads []*Thread, id int) *Thread {
 	return threads[id]
 }
 
-func (m *Machine) chargeAll(threads []*Thread, cycles float64) {
+func (m *Machine) chargeAll(threads []*Thread, cycles float64, b Bucket) {
 	for _, t := range threads {
 		if !t.done {
 			t.stall(cycles)
+			m.profAdd(t, b, cycles)
 		}
 	}
 }
@@ -183,7 +187,7 @@ func (m *Machine) thpPass(threads []*Thread) {
 			}
 			if m.Mem.PromoteHuge(base) {
 				promoted++
-				m.chargeAll(threads, m.P.THPPromoteCost/float64(alive))
+				m.chargeAll(threads, m.P.THPPromoteCost/float64(alive), BucketTHPWork)
 				// The collapse invalidates the 512 base translations.
 				for _, t := range threads {
 					if !t.done {

@@ -182,6 +182,13 @@ type Machine struct {
 	snapEvery float64
 	nextSnap  float64
 	snaps     []Snapshot
+
+	// Cycle attribution (nil when profiling is off); see profile.go.
+	// pendingLockWait accumulates lock-contention waits reported by the
+	// allocator hook during one Malloc/Free, so the caller can split the
+	// returned cost into stall and work.
+	prof            *profiler
+	pendingLockWait float64
 }
 
 type sampleEntry struct {
@@ -240,7 +247,7 @@ func (m *Machine) Configure(cfg RunConfig) {
 	m.Mem.SetTHP(cfg.THP)
 	m.Alloc = alloc.New(cfg.Allocator)
 	m.Alloc.Attach(m, cfg.Threads)
-	m.wireAllocTrace()
+	m.wireAllocHooks()
 	m.nextBalance = m.clock + m.P.AutoNUMAPeriod
 	m.nextTHPScan = m.clock + m.P.THPPeriod
 	// The OS scheduler's appetite for migration varies run to run; sample
@@ -263,13 +270,16 @@ func (m *Machine) Counters() Counters {
 	return c
 }
 
-// ResetCounters zeroes the profile (between workload phases).
+// ResetCounters zeroes the profile (between workload phases). When cycle
+// attribution is on it is rescoped too, so counters, buckets and the node
+// access matrix always describe the same phase.
 func (m *Machine) ResetCounters() {
 	m.counters = Counters{}
 	m.Mem.MinorFaults = 0
 	m.Mem.Migrations = 0
 	m.Mem.Promotions = 0
 	m.Mem.Splits = 0
+	m.ResetProfile()
 }
 
 // Env implementation for the allocator models.
@@ -292,6 +302,7 @@ func (m *Machine) UnmapRange(base, bytes uint64) {
 	}
 	if d := m.Mem.Splits - before; d > 0 {
 		m.current.cycles += float64(d) * m.P.THPSplitCost
+		m.profAdd(m.current, BucketTHPWork, float64(d)*m.P.THPSplitCost)
 	}
 	if m.cfg.THP {
 		// The zone lock and deferred-split queue serialize concurrent
@@ -301,6 +312,7 @@ func (m *Machine) UnmapRange(base, bytes uint64) {
 			active = 1
 		}
 		m.current.cycles += m.P.THPChurnCycles * active
+		m.profAdd(m.current, BucketTHPWork, m.P.THPChurnCycles*active)
 	}
 }
 

@@ -94,6 +94,12 @@ func (m *Machine) Run(n int, body func(t *Thread)) Result {
 			load = 1
 		}
 		t.wall += (t.cycles - start) * float64(load)
+		if m.prof != nil && load > 1 {
+			// The quantum's charges were attributed at their sources; the
+			// inflation beyond them is time spent descheduled.
+			m.prof.add(t.id, m.nodeOf(t.hw), BucketTimeshare,
+				(t.cycles-start)*float64(load-1))
+		}
 		if load > 1 {
 			t.l1.Flush()
 			t.tlb.Flush()
@@ -106,6 +112,9 @@ func (m *Machine) Run(n int, body func(t *Thread)) Result {
 		if t.done {
 			m.hwLoad[t.hw]--
 			m.active--
+			if m.prof != nil {
+				m.prof.thread(t.id).wall += t.wall
+			}
 			runnable = append(runnable[:best], runnable[best+1:]...)
 			continue
 		}
@@ -152,6 +161,7 @@ func (m *Machine) migrateThread(t *Thread, newHW int) {
 	t.l1.Flush()
 	t.tlb.Flush()
 	t.stall(m.P.MigrationCycles)
+	m.profAdd(t, BucketThreadMigration, m.P.MigrationCycles)
 	t.migrations++
 	if m.trace != nil {
 		m.trace.Emit(trace.Event{

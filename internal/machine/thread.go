@@ -56,6 +56,9 @@ func (t *Thread) stall(cycles float64) {
 // touches no simulated memory.
 func (t *Thread) Charge(cycles float64) {
 	t.cycles += cycles
+	if pr := t.m.prof; pr != nil {
+		pr.add(t.id, t.m.nodeOf(t.hw), BucketCompute, cycles)
+	}
 	t.maybeYield()
 }
 
@@ -71,21 +74,45 @@ func (t *Thread) Write(addr, size uint64) { t.access(addr, size, true) }
 // Malloc allocates size bytes through the machine's configured allocator,
 // charging the allocation cost to the thread.
 func (t *Thread) Malloc(size uint64) uint64 {
-	t.m.current = t
-	addr, cost := t.m.Alloc.Malloc(t, size)
-	t.m.current = nil
+	m := t.m
+	m.current = t
+	m.pendingLockWait = 0
+	addr, cost := m.Alloc.Malloc(t, size)
+	m.current = nil
 	t.cycles += cost
+	t.profAllocCost(cost)
 	t.maybeYield()
 	return addr
 }
 
 // Free releases an allocation (sized free), charging its cost.
 func (t *Thread) Free(addr, size uint64) {
-	t.m.current = t
-	cost := t.m.Alloc.Free(t, addr, size)
-	t.m.current = nil
+	m := t.m
+	m.current = t
+	m.pendingLockWait = 0
+	cost := m.Alloc.Free(t, addr, size)
+	m.current = nil
 	t.cycles += cost
+	t.profAllocCost(cost)
 	t.maybeYield()
+}
+
+// profAllocCost attributes an allocator call's cost, splitting the
+// lock-contention wait (accumulated by the lock-wait hook during the call)
+// from the allocator's own work. Splits triggered inside the call charged
+// the thread directly through UnmapRange and are attributed there.
+func (t *Thread) profAllocCost(cost float64) {
+	pr := t.m.prof
+	if pr == nil {
+		return
+	}
+	stall := t.m.pendingLockWait
+	if stall > cost {
+		stall = cost
+	}
+	node := t.m.nodeOf(t.hw)
+	pr.add(t.id, node, BucketAllocStall, stall)
+	pr.add(t.id, node, BucketAllocWork, cost-stall)
 }
 
 // access charges one simulated memory access, line by line.
@@ -116,13 +143,19 @@ func (t *Thread) accessLine(a uint64, write bool) {
 	p := &m.P
 	node := m.nodeOf(t.hw)
 	cost := 0.0
+	// Component costs mirror the additions into cost so the profiler can
+	// attribute them; the cost arithmetic itself is untouched, keeping
+	// profiled runs bit-identical to unprofiled ones.
+	var faultC, walkC float64
 
 	f := m.Mem.Fault(a, node)
 	if f.Kind == vmm.MinorFault {
 		cost += p.MinorFaultCycles
+		faultC = p.MinorFaultCycles
 		if f.HugeMapped {
 			// THP fault: one fault maps 2MiB, but zeroing it costs extra.
 			cost += p.THPFaultCycles
+			faultC += p.THPFaultCycles
 		}
 	}
 	vpn := a >> vmm.PageShift
@@ -130,8 +163,10 @@ func (t *Thread) accessLine(a uint64, write bool) {
 		m.counters.TLBMisses++
 		if f.Huge {
 			cost += p.WalkHugeCycles
+			walkC = p.WalkHugeCycles
 		} else {
 			cost += p.WalkCycles
+			walkC = p.WalkCycles
 		}
 	}
 	lineTag := a / uint64(m.Spec.LineSize)
@@ -141,14 +176,21 @@ func (t *Thread) accessLine(a uint64, write bool) {
 			m.noteWriter(lineTag, node)
 		}
 		t.cycles += cost + p.L1HitCycles
+		if m.prof != nil {
+			m.prof.access(t.id, node, faultC, walkC, 0, BucketL1Hit, p.L1HitCycles)
+		}
 		return
 	}
 	// Past L1, a line dirty in another node's cache costs a transfer.
-	cost += m.coherencePenalty(lineTag, node, write)
+	cohC := m.coherencePenalty(lineTag, node, write)
+	cost += cohC
 	llc := m.llc[node]
 	m.counters.CacheAccesses++
 	if llc.Access(lineTag) {
 		t.cycles += cost + p.LLCHitCycles
+		if m.prof != nil {
+			m.prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
+		}
 		return
 	}
 	m.counters.CacheMisses++
@@ -163,4 +205,9 @@ func (t *Thread) accessLine(a uint64, write bool) {
 	t.lastVPN = vpn
 	m.noteDRAM(home, t)
 	t.cycles += cost + dram
+	if m.prof != nil {
+		m.prof.access(t.id, node, faultC, walkC, cohC,
+			dramBucket(m.Spec.Topo.Hops(node, home)), dram)
+		m.prof.dram(node, home)
+	}
 }

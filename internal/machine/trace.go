@@ -22,7 +22,7 @@ func (m *Machine) SetTrace(s trace.Sink) {
 	} else {
 		m.Mem.SetTrace(s, m.traceNow)
 	}
-	m.wireAllocTrace()
+	m.wireAllocHooks()
 }
 
 // Trace returns the attached event sink, nil when tracing is off.
@@ -38,9 +38,11 @@ func (m *Machine) traceNow() (cycle float64, thread int32) {
 	return m.clock, -1
 }
 
-// wireAllocTrace re-installs the allocator lock-wait hook; called whenever
-// the sink or the allocator changes (Configure rebuilds the allocator).
-func (m *Machine) wireAllocTrace() {
+// wireAllocHooks re-installs the allocator lock-wait hook, which serves
+// both the event trace and the cycle-attribution profiler; called whenever
+// the sink, the profiler or the allocator changes (Configure rebuilds the
+// allocator).
+func (m *Machine) wireAllocHooks() {
 	if m.Alloc == nil {
 		return
 	}
@@ -48,11 +50,17 @@ func (m *Machine) wireAllocTrace() {
 	if !ok {
 		return
 	}
-	if m.trace == nil {
+	if m.trace == nil && m.prof == nil {
 		h.SetLockWaitHook(nil)
 		return
 	}
 	h.SetLockWaitHook(func(w float64) {
+		if m.prof != nil {
+			m.pendingLockWait += w
+		}
+		if m.trace == nil {
+			return
+		}
 		cyc, th := m.traceNow()
 		m.trace.Emit(trace.Event{
 			Cycle:  cyc,

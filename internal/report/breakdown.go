@@ -1,0 +1,136 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// BreakdownColumn pairs a cycle-attribution profile with the label of the
+// configuration that produced it, one column of a BreakdownTable.
+type BreakdownColumn struct {
+	Name    string
+	Profile *machine.Profile
+}
+
+// BreakdownTable renders cycle-attribution profiles as a percentage-stacked
+// breakdown: one row per component bucket, one column per configuration,
+// each cell that bucket's share of the configuration's total attributed
+// cycles. Buckets at zero in every column are omitted. A final row carries
+// the absolute totals the percentages are of.
+func BreakdownTable(title string, cols ...BreakdownColumn) *Table {
+	t := &Table{Title: title, Header: make([]string, 0, len(cols)+1)}
+	t.Header = append(t.Header, "component")
+	for _, c := range cols {
+		t.Header = append(t.Header, c.Name)
+	}
+	totals := make([][]float64, len(cols))
+	sums := make([]float64, len(cols))
+	for i, c := range cols {
+		if c.Profile == nil {
+			totals[i] = make([]float64, machine.NumBuckets)
+			continue
+		}
+		totals[i] = c.Profile.Totals()
+		for _, v := range totals[i] {
+			sums[i] += v
+		}
+	}
+	for _, b := range machine.Buckets() {
+		nonzero := false
+		for i := range cols {
+			if totals[i][b] != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		row := make([]any, 0, len(cols)+1)
+		row = append(row, b.String())
+		for i := range cols {
+			pct := 0.0
+			if sums[i] > 0 {
+				pct = totals[i][b] / sums[i]
+			}
+			row = append(row, fmt.Sprintf("%5.1f%%", pct*100))
+		}
+		t.AddRow(row...)
+	}
+	row := make([]any, 0, len(cols)+1)
+	row = append(row, "total (Gcycles)")
+	for i := range cols {
+		row = append(row, Billions(sums[i]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// NodeMatrixTable renders a profile's N×N node access matrix numastat
+// style: row i column j counts DRAM accesses issued from node i served by
+// memory on node j, with a local-access-ratio column.
+func NodeMatrixTable(title string, p *machine.Profile) *Table {
+	t := &Table{Title: title, Header: make([]string, 0, len(p.Matrix)+2)}
+	t.Header = append(t.Header, "from\\to")
+	for j := range p.Matrix {
+		t.Header = append(t.Header, fmt.Sprintf("node%d", j))
+	}
+	t.Header = append(t.Header, "LAR")
+	for i, rowCounts := range p.Matrix {
+		row := make([]any, 0, len(rowCounts)+2)
+		row = append(row, fmt.Sprintf("node%d", i))
+		var total, local uint64
+		for j, n := range rowCounts {
+			row = append(row, n)
+			total += n
+			if i == j {
+				local = n
+			}
+		}
+		lar := "-"
+		if total > 0 {
+			lar = fmt.Sprintf("%.3f", float64(local)/float64(total))
+		}
+		row = append(row, lar)
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// FoldedProfile pairs a profile with the root frame its stacks fold under
+// (typically the experiment/cell id).
+type FoldedProfile struct {
+	Name    string
+	Profile *machine.Profile
+}
+
+// FoldedStacks writes profiles in folded-stack format — one
+// "root;thread N;component <cycles>" line per thread×bucket with a nonzero
+// count — loadable by speedscope (https://speedscope.app) and Brendan
+// Gregg's flamegraph.pl. Cycle counts are rounded to integers as the
+// format requires; output order (profile, thread, bucket) is
+// deterministic.
+func FoldedStacks(w io.Writer, profs ...FoldedProfile) error {
+	for _, fp := range profs {
+		if fp.Profile == nil {
+			continue
+		}
+		for _, tb := range fp.Profile.Threads {
+			for b, c := range tb.Buckets {
+				n := int64(math.Round(c))
+				if n <= 0 {
+					continue
+				}
+				_, err := fmt.Fprintf(w, "%s;thread %d;%s %d\n",
+					fp.Name, tb.Thread, machine.Bucket(b).String(), n)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

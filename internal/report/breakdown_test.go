@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// goldenProfile runs a small profiled workload on Machine B so the
+// breakdown fixtures carry real attribution (deterministic for the fixed
+// seed).
+func goldenProfile() *machine.Profile {
+	m := machine.NewB()
+	cfg := machine.DefaultConfig(4)
+	cfg.Seed = 11
+	m.Configure(cfg)
+	m.SetProfiling(true)
+	m.Run(4, func(t *machine.Thread) {
+		base := t.Malloc(256 << 10)
+		for off := uint64(0); off < 256<<10; off += 64 {
+			t.Write(base+off, 8)
+		}
+		t.Charge(10_000)
+		t.Free(base, 256<<10)
+	})
+	return m.Profile()
+}
+
+func TestBreakdownTableGolden(t *testing.T) {
+	p := goldenProfile()
+	var buf bytes.Buffer
+	BreakdownTable("golden: cycle breakdown",
+		BreakdownColumn{Name: "default", Profile: p},
+		BreakdownColumn{Name: "empty", Profile: nil},
+	).Render(&buf)
+	checkGolden(t, "breakdown.txt", buf.Bytes())
+}
+
+func TestNodeMatrixTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	NodeMatrixTable("golden: node access matrix", goldenProfile()).Render(&buf)
+	checkGolden(t, "node_matrix.txt", buf.Bytes())
+}
+
+func TestFoldedStacksGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := FoldedStacks(&buf,
+		FoldedProfile{Name: "golden/default", Profile: goldenProfile()},
+		FoldedProfile{Name: "skipped", Profile: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "folded.txt", buf.Bytes())
+}
+
+func TestFoldedStacksFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FoldedStacks(&buf, FoldedProfile{Name: "x", Profile: goldenProfile()}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no stacks emitted")
+	}
+	for _, l := range lines {
+		// Every line: frame;frame;frame <integer count>.
+		parts := strings.Split(l, ";")
+		if len(parts) != 3 {
+			t.Fatalf("line %q: want 3 frames", l)
+		}
+		tail := strings.Fields(parts[2])
+		if len(tail) != 2 {
+			t.Fatalf("line %q: last frame should be 'component count'", l)
+		}
+		if strings.ContainsAny(tail[1], ".e") {
+			t.Fatalf("line %q: count %q not an integer", l, tail[1])
+		}
+	}
+}
+
+func TestBreakdownPercentagesSum(t *testing.T) {
+	tbl := BreakdownTable("t", BreakdownColumn{Name: "c", Profile: goldenProfile()})
+	var sum float64
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "total") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(row[1]), "%f%%", &v); err != nil {
+			t.Fatalf("cell %q: %v", row[1], err)
+		}
+		sum += v
+	}
+	if sum < 99.0 || sum > 101.0 {
+		t.Errorf("breakdown percentages sum to %.2f, want ~100", sum)
+	}
+}
+
+func TestChromeCounterTracks(t *testing.T) {
+	m := machine.NewB()
+	cfg := machine.DefaultConfig(4)
+	cfg.Seed = 11
+	m.Configure(cfg)
+	m.StartSnapshots(1e5)
+	m.Run(4, func(th *machine.Thread) {
+		base := th.Malloc(512 << 10)
+		for off := uint64(0); off < 512<<10; off += 64 {
+			th.Write(base+off, 8)
+		}
+	})
+	var buf bytes.Buffer
+	err := ChromeTrace(&buf, TraceProcess{
+		Name:      "counters",
+		FreqGHz:   2.1,
+		Events:    []trace.Event{},
+		Snapshots: m.Snapshots(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"C"`, "dram accesses", "kernel activity", "cache pressure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counter track output missing %q", want)
+		}
+	}
+}

@@ -6,17 +6,21 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/machine"
 	"repro/internal/trace"
 )
 
 // TraceProcess is one simulated machine's event stream prepared for the
 // Chrome trace-event exporter. FreqGHz converts virtual cycles to the
 // microsecond timestamps the format requires; Name labels the process
-// track in the viewer (e.g. "fig5a/Interleave+AutoNUMA").
+// track in the viewer (e.g. "fig5a/Interleave+AutoNUMA"). Snapshots, when
+// present, additionally render as counter tracks (DRAM locality, faults
+// and migrations, cache misses over time).
 type TraceProcess struct {
-	Name    string
-	FreqGHz float64
-	Events  []trace.Event
+	Name      string
+	FreqGHz   float64
+	Events    []trace.Event
+	Snapshots []machine.Snapshot
 }
 
 // chromeEvent is one entry of the Chrome trace-event JSON array. Fields
@@ -104,6 +108,39 @@ func ChromeTrace(w io.Writer, procs ...TraceProcess) error {
 			}
 			if err := emit(ev); err != nil {
 				return err
+			}
+		}
+		// Counter tracks: one "C" event per snapshot per counter group.
+		// Cumulative counters plot as monotone staircases; the viewer's
+		// deltas between samples show the burst structure. Map args
+		// marshal with sorted keys, keeping the output deterministic.
+		for _, s := range p.Snapshots {
+			ts := s.Cycle / (freq * 1e3)
+			c := s.Counters
+			groups := []struct {
+				name string
+				args map[string]any
+			}{
+				{"dram accesses", map[string]any{
+					"local": c.LocalAccesses, "remote": c.RemoteAccesses}},
+				{"kernel activity", map[string]any{
+					"minor_faults":      c.MinorFaults,
+					"page_migrations":   c.PageMigrations,
+					"thread_migrations": c.ThreadMigrations}},
+				{"cache pressure", map[string]any{
+					"llc_misses": c.CacheMisses, "tlb_misses": c.TLBMisses}},
+			}
+			for _, g := range groups {
+				err := emit(chromeEvent{
+					Name: g.name,
+					Ph:   "C",
+					Ts:   ts,
+					Pid:  pid,
+					Args: g.args,
+				})
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -223,7 +223,8 @@ type (
 	// one BenchRecord per grid cell.
 	ExperimentResult = experiments.Result
 	// BenchRecord is one grid cell's structured result, serializable as
-	// JSONL under schema repro/bench/v1.
+	// JSONL under schema repro/bench/v2 (the strict reader also accepts
+	// v1 files written before cycle attribution existed).
 	BenchRecord = experiments.Record
 	// Scale sizes an experiment's datasets.
 	Scale = experiments.Scale
@@ -249,4 +250,44 @@ var (
 	ScaleSmall   = experiments.Small
 	ScaleCal     = experiments.Cal
 	ScaleDefault = experiments.Default
+)
+
+// Cycle attribution. Turn it on with Machine.SetProfiling(true) and every
+// charged cycle is tagged with a component bucket — compute, cache hits,
+// DRAM by hop distance, page-table walks, fault service, kernel daemons,
+// allocator work and lock stalls, thread and page migration, TLB
+// shootdowns, timesharing — accumulated per thread and per NUMA node
+// alongside an N×N node access matrix. Attribution is observation-only:
+// the simulated timing is bit-identical with it on or off, and a nil
+// profiler costs one pointer check per charge. See examples/profile.
+type (
+	// CycleProfile is a machine's accumulated attribution: per-thread and
+	// per-node bucket breakdowns plus the node access matrix.
+	CycleProfile = machine.Profile
+	// CycleBucket names one attribution component.
+	CycleBucket = machine.Bucket
+	// ThreadBreakdown is one thread's per-bucket cycles.
+	ThreadBreakdown = machine.ThreadBreakdown
+	// NodeBreakdown is one NUMA node's per-bucket cycles.
+	NodeBreakdown = machine.NodeBreakdown
+	// BreakdownColumn pairs a name with a profile for BreakdownTable.
+	BreakdownColumn = report.BreakdownColumn
+	// FoldedProfile pairs a name with a profile for FoldedStacks.
+	FoldedProfile = report.FoldedProfile
+)
+
+// CycleBuckets lists every attribution bucket in rendering order.
+var CycleBuckets = machine.Buckets
+
+// Breakdown rendering and export: BreakdownTable renders a
+// percentage-stacked component comparison, NodeMatrixTable a numastat-style
+// access matrix, and FoldedStacks writes profiles in folded-stack format
+// (speedscope- and flamegraph-loadable). SetCellProfiling attaches the
+// profiler to every experiment grid cell, filling each BenchRecord's
+// breakdown and profile fields.
+var (
+	BreakdownTable   = report.BreakdownTable
+	NodeMatrixTable  = report.NodeMatrixTable
+	FoldedStacks     = report.FoldedStacks
+	SetCellProfiling = experiments.SetCellProfiling
 )

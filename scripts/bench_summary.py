@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Summarize a numabench/tpchbench JSONL results file per experiment.
+
+Usage: bench_summary.py results.jsonl > BENCH.json
+
+Emits one JSON object: for every experiment in the file, the record
+count, the total host wall time (seconds, summed over its cells' host_ns
+— the only nondeterministic field), and the total simulated wall cycles.
+CI regenerates this as BENCH_ci.json; the committed BENCH_pr3.json is
+one run of it on the PR's fig2+profile cal-scale sweep.
+"""
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: bench_summary.py results.jsonl")
+    per = {}
+    with open(sys.argv[1]) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            e = per.setdefault(rec["experiment"], {
+                "records": 0,
+                "host_seconds": 0.0,
+                "sim_wall_cycles": 0.0,
+            })
+            e["records"] += 1
+            e["host_seconds"] += rec["host_ns"] / 1e9
+            e["sim_wall_cycles"] += rec["wall_cycles"]
+    for e in per.values():
+        e["host_seconds"] = round(e["host_seconds"], 3)
+    out = {
+        "schema": "repro/bench-summary/v1",
+        "experiments": {k: per[k] for k in sorted(per)},
+    }
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
