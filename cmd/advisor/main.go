@@ -1,24 +1,27 @@
 // Command advisor is the paper's Figure 10 decision flowchart as a CLI: it
 // takes the workload's traits as flags and prints a recommended
 // configuration with the reasoning for each choice. Optionally it
-// validates the advice by running the W1 aggregation kernel under both the
-// OS default and the recommendation on a simulated machine.
+// validates the advice by running a workload kernel under both the OS
+// default and the recommendation on a simulated machine, through the same
+// trial path the numatune campaigns use — advisor and tuner cannot
+// disagree on methodology.
 //
 // Usage:
 //
 //	advisor -bandwidth-bound -superuser -alloc-heavy
 //	advisor -alloc-heavy -mem-constrained -validate -machine A
+//	advisor -superuser -alloc-heavy -validate -workload W3 -machine C -scale cal
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/datagen"
-	"repro/internal/machine"
-	"repro/internal/query"
+	"repro/internal/experiments"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -36,8 +39,10 @@ func main() {
 	flag.BoolVar(&tr.FreeMemoryConstrained, "mem-constrained", false,
 		"free memory headroom is tight")
 	validate := flag.Bool("validate", false,
-		"run W1 under the OS default and the recommendation to verify the speedup")
+		"run the workload under the OS default and the recommendation to verify the speedup")
 	mc := flag.String("machine", "A", "machine for -validate: A, B or C")
+	workload := flag.String("workload", "W1", "workload for -validate: W1 or W3")
+	scale := flag.String("scale", "cal", "dataset scale for -validate: tiny, small, cal or default")
 	flag.Parse()
 
 	rec := core.Advise(tr)
@@ -55,22 +60,45 @@ func main() {
 	if !*validate {
 		return
 	}
-	spec, err := specFor(*mc)
+	scales := map[string]experiments.Scale{
+		"tiny":    experiments.Tiny,
+		"small":   experiments.Small,
+		"cal":     experiments.Cal,
+		"default": experiments.Default,
+	}
+	s, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "advisor: unknown scale %q (tiny, small, cal, default)\n", *scale)
+		os.Exit(2)
+	}
+	wl, err := tune.WorkloadByID(strings.ToUpper(*workload))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "advisor:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("\nValidating on %s (W1 aggregation kernel)...\n", spec.Name)
-	run := func(cfg machine.RunConfig) float64 {
-		m := machine.New(spec)
-		m.Configure(cfg)
-		recs := datagen.MovingCluster(300_000, 40_000, 11)
-		out := query.Aggregate(m, query.AggregationSpec{Records: recs, Cardinality: 40_000, Holistic: true})
-		return out.Result.WallCycles
+	m, err := tune.MachineFor(strings.ToUpper(*mc))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
 	}
-	threads := spec.HardwareThreads()
-	def := run(machine.DefaultConfig(threads))
-	adv := run(rec.Apply(threads))
+
+	fmt.Printf("\nValidating on %s (%s: %s)...\n", m.Spec.Name, wl.ID, wl.Name)
+	run := func(p tune.Point) float64 {
+		out, err := tune.RunTrial(tune.TrialKey{
+			Workload: wl.ID,
+			Machine:  strings.ToUpper(*mc),
+			Point:    p,
+			Seed:     1,
+			Size:     experiments.TuneSize(s),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "advisor:", err)
+			os.Exit(1)
+		}
+		return out.Cycles
+	}
+	def := run(tune.DefaultPoint())
+	adv := run(tune.FromRecommendation(rec))
 	fmt.Printf("  OS default:   %.3f billion cycles\n", def/1e9)
 	fmt.Printf("  recommended:  %.3f billion cycles\n", adv/1e9)
 	fmt.Printf("  latency reduction: %.1f%%\n", core.Speedup(def, adv)*100)
@@ -81,16 +109,4 @@ func onOff(b bool) string {
 		return "on (default)"
 	}
 	return "off"
-}
-
-func specFor(mc string) (machine.Spec, error) {
-	switch mc {
-	case "A", "a":
-		return machine.SpecA(), nil
-	case "B", "b":
-		return machine.SpecB(), nil
-	case "C", "c":
-		return machine.SpecC(), nil
-	}
-	return machine.Spec{}, fmt.Errorf("unknown machine %q", mc)
 }

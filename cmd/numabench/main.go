@@ -184,6 +184,9 @@ func main() {
 		if *showTime {
 			fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
 		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%s: %s]\n", id, cli.CacheSummary())
+		}
 	}
 
 	if shared.Trace != "" {

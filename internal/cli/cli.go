@@ -12,10 +12,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/tpch"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // snapshotEvery is the counter-snapshot cadence for traced machines, in
@@ -36,8 +39,15 @@ type Flags struct {
 // Register installs the shared flags on fs with identical names and help
 // text across commands.
 func (f *Flags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&f.JSON, "json", "", "append one JSONL record per cell to this file")
 	fs.StringVar(&f.Trace, "trace", "", "record simulator event traces and write a Chrome trace-event file")
+	f.RegisterNoTrace(fs)
+}
+
+// RegisterNoTrace installs the shared flags except -trace, for commands
+// whose artifacts carry no event stream (numatune: campaign records are
+// fully deterministic, and a trace would change nothing but file size).
+func (f *Flags) RegisterNoTrace(fs *flag.FlagSet) {
+	fs.StringVar(&f.JSON, "json", "", "append one JSONL record per cell to this file")
 	fs.StringVar(&f.Validate, "validate", "", "validate a JSONL results file against the schema and exit")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host pprof CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a host pprof heap profile to this file")
@@ -108,6 +118,31 @@ func AppendJSONL(path string, recs []experiments.Record) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ValidateTuneJSONL checks a campaign artifact against the repro/tune/v1
+// strict reader and returns the record count.
+func ValidateTuneJSONL(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	recs, err := tune.ReadJSONL(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return len(recs), nil
+}
+
+// CacheSummary formats the dataset and TPC-H memo-cache counters in one
+// line, so progress output shows long runs reuse generated data instead
+// of rebuilding it per trial.
+func CacheSummary() string {
+	dh, dm := datagen.CacheStats()
+	th, tm := tpch.GenCacheStats()
+	return fmt.Sprintf("cache: datasets %d hits / %d builds, tpch %d hits / %d builds",
+		dh, dm, th, tm)
 }
 
 // ValidateJSONL checks path against the strict schema reader and returns

@@ -1,0 +1,59 @@
+package core_test
+
+// The flowchart's recommendations must stay inside the tuner's
+// configuration space: every knob value core.Advise can emit has to be a
+// value the campaigns enumerate, or the flowchart-regret comparison could
+// recommend something the tuner never measures. The sweep lives in an
+// external test package because internal/tune imports internal/core.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tune"
+)
+
+func TestAdviseCoversTraitSpace(t *testing.T) {
+	space := tune.DefaultSpace()
+	for bits := 0; bits < 64; bits++ {
+		tr := core.Traits{
+			ThreadPlacementManaged: bits&1 != 0,
+			MemoryBandwidthBound:   bits&2 != 0,
+			SuperuserAccess:        bits&4 != 0,
+			MemoryPlacementDefined: bits&8 != 0,
+			AllocationHeavy:        bits&16 != 0,
+			FreeMemoryConstrained:  bits&32 != 0,
+		}
+		rec := core.Advise(tr)
+		p := tune.FromRecommendation(rec)
+		if !space.Contains(p) {
+			t.Errorf("traits %+v: recommendation %s is outside the tuner's space", tr, p.Key())
+		}
+		if len(rec.Rationale) == 0 {
+			t.Errorf("traits %+v: recommendation has no rationale", tr)
+		}
+		for i, r := range rec.Rationale {
+			if r == "" {
+				t.Errorf("traits %+v: rationale %d is empty", tr, i)
+			}
+		}
+		if rec.Allocator == "" {
+			t.Errorf("traits %+v: no allocator recommended", tr)
+		}
+	}
+}
+
+func TestWorkloadTraitsKnown(t *testing.T) {
+	for _, id := range tune.WorkloadIDs() {
+		tr, err := core.WorkloadTraits(id)
+		if err != nil {
+			t.Fatalf("workload %s: %v", id, err)
+		}
+		if !tune.DefaultSpace().Contains(tune.FromRecommendation(core.Advise(tr))) {
+			t.Errorf("workload %s: advised configuration outside the tuner's space", id)
+		}
+	}
+	if _, err := core.WorkloadTraits("W9"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -67,6 +67,23 @@ type Traits struct {
 	FreeMemoryConstrained bool
 }
 
+// WorkloadTraits returns the canonical Figure 10 classification of the
+// simulated workloads: how the paper's flowchart sees W1 (holistic
+// aggregation: streaming scans saturate memory bandwidth and the
+// hash-table build allocates heavily) and W3 (hash join: random probes
+// are latency- rather than bandwidth-bound, but the build side is
+// allocation-heavy). Both assume the reproduction's environment —
+// superuser access, no pre-existing thread or memory placement.
+func WorkloadTraits(workload string) (Traits, error) {
+	switch workload {
+	case "W1":
+		return Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true}, nil
+	case "W3":
+		return Traits{SuperuserAccess: true, AllocationHeavy: true}, nil
+	}
+	return Traits{}, fmt.Errorf("core: no canonical traits for workload %q", workload)
+}
+
 // Recommendation is the flowchart's output: a configuration plus the
 // reasoning for each choice.
 type Recommendation struct {

@@ -336,6 +336,7 @@ func TestRegistryCoversRenderables(t *testing.T) {
 		"ablation":     1,
 		"preferred":    1,
 		"profile":      5, // Table III extended + breakdown + 3 matrices
+		"tune":         4, // strategies + top-k + marginals + regret
 	}
 	for id, n := range want {
 		d, err := Lookup(id)

@@ -26,11 +26,11 @@ type Fig10Result struct {
 // Figure 6 grid's best cell, on Machine A. Records include the advised
 // and default cells plus the full embedded Fig6W1 grid.
 func Fig10(s Scale) (Fig10Result, error) {
-	rec := core.Advise(core.Traits{
-		MemoryBandwidthBound: true,
-		SuperuserAccess:      true,
-		AllocationHeavy:      true,
-	})
+	tr, err := core.WorkloadTraits("W1")
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	rec := core.Advise(tr)
 	out := Fig10Result{Recommendation: rec}
 
 	cfgs := []machine.RunConfig{rec.Apply(16), machine.DefaultConfig(16)}

@@ -229,6 +229,19 @@ func buildRegistry() map[string]Descriptor {
 			},
 		},
 		{
+			Id: "tune", Title: "Configuration-space tuning campaigns and flowchart regret",
+			Artifact: "Figure 10 (extended)", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Tune(s)
+				if err != nil {
+					return nil, err
+				}
+				tables := []*report.Table{r.RenderStrategies(), r.RenderTop(),
+					r.RenderMarginals(), r.RenderRegret()}
+				return &Result{Tables: tables, Records: r.Records}, nil
+			},
+		},
+		{
 			Id: "ablation", Title: "Cost-model ablations of the headline default-vs-tuned gain",
 			Artifact: "extension", DefaultScale: "cal",
 			run: func(s Scale) (*Result, error) {

@@ -1,0 +1,111 @@
+package report
+
+import "fmt"
+
+// This file renders the tuning-campaign surfaces: top-k configuration
+// rankings, per-knob marginal gains, and the Figure 10 flowchart-regret
+// table. The row structs are plain data so internal/tune (and anything
+// else) can feed them without this package knowing about campaigns.
+
+// ConfigRank is one configuration's full-size measurement for ranking.
+type ConfigRank struct {
+	Key    string  // canonical configuration identity
+	Cycles float64 // measured wall cycles
+	LAR    float64 // local access ratio
+}
+
+// TopConfigsTable ranks configurations by cycles ascending and renders
+// the best k (all of them when k <= 0), each with its latency reduction
+// versus the given baseline cycles (pass the OS default or 0 to omit a
+// meaningful baseline column).
+func TopConfigsTable(title string, rows []ConfigRank, k int, baseline float64) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"rank", "configuration", "cycles", "LAR", "vs default"},
+	}
+	if k <= 0 || k > len(rows) {
+		k = len(rows)
+	}
+	for i := 0; i < k; i++ {
+		r := rows[i]
+		vs := "-"
+		if baseline > 0 {
+			vs = Pct((baseline - r.Cycles) / baseline)
+		}
+		t.AddRow(i+1, r.Key, Billions(r.Cycles), fmt.Sprintf("%.3f", r.LAR), vs)
+	}
+	return t
+}
+
+// KnobMarginal is one axis value's aggregate over every configuration
+// sharing it: how the knob moves the mean and the attainable best.
+type KnobMarginal struct {
+	Axis   string
+	Value  string
+	Mean   float64 // mean cycles across configurations with this value
+	Best   float64 // cheapest configuration with this value
+	Trials int
+}
+
+// KnobMarginalsTable renders per-knob marginal gains: for every axis
+// value, its mean and best cycles, and the penalty of the mean versus the
+// best mean on the same axis (0% marks the axis' best value — the knob's
+// marginal gain is the spread of this column).
+func KnobMarginalsTable(title string, rows []KnobMarginal) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"knob", "value", "trials", "mean cycles", "best cycles", "mean vs axis best"},
+	}
+	bestMean := map[string]float64{}
+	for _, r := range rows {
+		if m, ok := bestMean[r.Axis]; !ok || r.Mean < m {
+			bestMean[r.Axis] = r.Mean
+		}
+	}
+	for _, r := range rows {
+		penalty := 0.0
+		if b := bestMean[r.Axis]; b > 0 {
+			penalty = (r.Mean - b) / b
+		}
+		t.AddRow(r.Axis, r.Value, r.Trials, Billions(r.Mean), Billions(r.Best), Pct(penalty))
+	}
+	return t
+}
+
+// RegretRow is one machine x workload cell of the flowchart-regret
+// validation: what the Figure 10 advisor recommended versus the campaign
+// optimum, both measured identically.
+type RegretRow struct {
+	Machine       string
+	Workload      string
+	AdvisedKey    string
+	AdvisedCycles float64
+	BestKey       string
+	BestCycles    float64
+}
+
+// Regret returns the relative penalty of following the flowchart instead
+// of the measured optimum: (advised - best) / best, >= 0 when the
+// optimum is truly optimal.
+func (r RegretRow) Regret() float64 {
+	if r.BestCycles == 0 {
+		return 0
+	}
+	return (r.AdvisedCycles - r.BestCycles) / r.BestCycles
+}
+
+// FlowchartRegretTable renders the advisor-vs-optimum comparison across
+// machines and workloads. Regret close to 0% means the decision flowchart
+// lands on (or next to) the true optimum of the knob space.
+func FlowchartRegretTable(title string, rows []RegretRow) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"machine", "workload", "advised configuration", "advised cycles",
+			"optimum configuration", "optimum cycles", "regret"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Machine, r.Workload, r.AdvisedKey, Billions(r.AdvisedCycles),
+			r.BestKey, Billions(r.BestCycles), Pct(r.Regret()))
+	}
+	return t
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fixed tuning-table inputs exercising ranking, the baseline column, the
+// per-axis penalty math, and a negative-regret cell.
+
+func goldenRanks() []ConfigRank {
+	return []ConfigRank{
+		{Key: "Sparse/Interleave/tbbmalloc/numa=off/thp=off", Cycles: 1.0e9, LAR: 0.91},
+		{Key: "Dense/First Touch/jemalloc/numa=on/thp=on", Cycles: 1.2e9, LAR: 0.55},
+		{Key: "None/First Touch/ptmalloc/numa=on/thp=on", Cycles: 2.5e9, LAR: 0.42},
+	}
+}
+
+func TestTopConfigsTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	TopConfigsTable("golden: top configs", goldenRanks(), 2, 2.5e9).Render(&buf)
+	checkGolden(t, "tune_top.txt", buf.Bytes())
+}
+
+func TestTopConfigsTableNoBaseline(t *testing.T) {
+	tab := TopConfigsTable("no baseline", goldenRanks(), 0, 0)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("k<=0 should rank every row, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "-" {
+			t.Errorf("baseline 0 must render '-', got %v", row[len(row)-1])
+		}
+	}
+}
+
+func TestKnobMarginalsTableGolden(t *testing.T) {
+	rows := []KnobMarginal{
+		{Axis: "placement", Value: "None", Mean: 2.0e9, Best: 1.4e9, Trials: 80},
+		{Axis: "placement", Value: "Sparse", Mean: 1.5e9, Best: 1.0e9, Trials: 80},
+		{Axis: "thp", Value: "on", Mean: 1.8e9, Best: 1.1e9, Trials: 120},
+		{Axis: "thp", Value: "off", Mean: 1.7e9, Best: 1.0e9, Trials: 120},
+	}
+	var buf bytes.Buffer
+	KnobMarginalsTable("golden: knob marginals", rows).Render(&buf)
+	checkGolden(t, "tune_marginals.txt", buf.Bytes())
+}
+
+func TestFlowchartRegretTableGolden(t *testing.T) {
+	rows := []RegretRow{
+		{Machine: "A", Workload: "W1",
+			AdvisedKey: "Sparse/Interleave/tbbmalloc/numa=off/thp=off", AdvisedCycles: 1.05e9,
+			BestKey: "Sparse/Interleave/tbbmalloc/numa=off/thp=on", BestCycles: 1.0e9},
+		{Machine: "C", Workload: "W3",
+			AdvisedKey: "Dense/Interleave/tbbmalloc/numa=off/thp=off", AdvisedCycles: 0.9e9,
+			BestKey: "Dense/First Touch/jemalloc/numa=on/thp=on", BestCycles: 1.0e9},
+	}
+	if got := rows[0].Regret(); got <= 0.049 || got >= 0.051 {
+		t.Errorf("regret = %v, want 0.05", got)
+	}
+	if got := rows[1].Regret(); got >= 0 {
+		t.Errorf("advised beating the campaign best must report negative regret, got %v", got)
+	}
+	if (RegretRow{}).Regret() != 0 {
+		t.Error("zero best cycles must not divide by zero")
+	}
+	var buf bytes.Buffer
+	FlowchartRegretTable("golden: flowchart regret", rows).Render(&buf)
+	checkGolden(t, "tune_regret.txt", buf.Bytes())
+}

@@ -182,3 +182,7 @@ func GenerateCached(sf float64, seed uint64) *DB {
 
 // ResetGenCache drops every cached database.
 func ResetGenCache() { genCache.Reset() }
+
+// GenCacheStats reports hits and misses of the database cache, so long
+// runs can show databases are shared rather than regenerated per cell.
+func GenCacheStats() (hits, misses uint64) { return genCache.Stats() }

@@ -1,0 +1,183 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// This file turns campaign records into the reported surfaces: top-k
+// configuration rankings, per-knob marginal gains, and the Figure 10
+// flowchart-regret cells.
+
+// TopConfigs ranks the full-fraction trials by cycles ascending (ties by
+// schedule order) as report rows.
+func TopConfigs(recs []Record) []report.ConfigRank {
+	var idx []int
+	for i := range recs {
+		if recs[i].Frac == 1 {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return recs[idx[a]].WallCycles < recs[idx[b]].WallCycles
+	})
+	rows := make([]report.ConfigRank, len(idx))
+	for i, j := range idx {
+		rows[i] = report.ConfigRank{
+			Key:    recs[j].Key,
+			Cycles: recs[j].WallCycles,
+			LAR:    recs[j].LAR,
+		}
+	}
+	return rows
+}
+
+// DefaultCycles returns the OS-default point's full-fraction measurement
+// from the records, 0 when the campaign never measured it.
+func DefaultCycles(recs []Record) float64 {
+	key := DefaultPoint().Key()
+	for i := range recs {
+		if recs[i].Frac == 1 && recs[i].Key == key {
+			return recs[i].WallCycles
+		}
+	}
+	return 0
+}
+
+// Marginals aggregates the full-fraction trials per axis value: the mean
+// and best cycles over every configuration sharing that value. Meaningful
+// on exhaustive-grid results, where each value is averaged over the same
+// number of configurations; rows follow the space's axis and value order.
+func Marginals(space Space, recs []Record) []report.KnobMarginal {
+	type acc struct {
+		sum  float64
+		best float64
+		n    int
+	}
+	var rows []report.KnobMarginal
+	for _, axis := range space.Axes() {
+		byValue := make(map[string]*acc, len(axis.Values))
+		for i := range recs {
+			if recs[i].Frac != 1 {
+				continue
+			}
+			k, err := recs[i].trialKey()
+			if err != nil {
+				continue
+			}
+			v := axis.Of(k.Point)
+			a := byValue[v]
+			if a == nil {
+				a = &acc{best: recs[i].WallCycles}
+				byValue[v] = a
+			}
+			a.sum += recs[i].WallCycles
+			if recs[i].WallCycles < a.best {
+				a.best = recs[i].WallCycles
+			}
+			a.n++
+		}
+		for _, v := range axis.Values {
+			a := byValue[v]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			rows = append(rows, report.KnobMarginal{
+				Axis:   axis.Name,
+				Value:  v,
+				Mean:   a.sum / float64(a.n),
+				Best:   a.best,
+				Trials: a.n,
+			})
+		}
+	}
+	return rows
+}
+
+// Regret compares the Figure 10 flowchart's advice for the campaign's
+// workload against the campaign optimum. The advised point's measurement
+// is looked up among the campaign's full-fraction trials — grid campaigns
+// always contain it (the advisor only recommends members of the space);
+// for adaptive strategies it may be absent, which is reported as an
+// error rather than measured out-of-band.
+func Regret(res *Result) (report.RegretRow, error) {
+	tr, err := core.WorkloadTraits(res.Spec.Workload)
+	if err != nil {
+		return report.RegretRow{}, err
+	}
+	advised := FromRecommendation(core.Advise(tr))
+	if res.Best == nil {
+		return report.RegretRow{}, fmt.Errorf("tune: campaign %s has no full-size trials", res.Spec.ID())
+	}
+	key := advised.Key()
+	for i := range res.Records {
+		r := &res.Records[i]
+		if r.Frac == 1 && r.Key == key {
+			return report.RegretRow{
+				Machine:       res.Spec.Machine,
+				Workload:      res.Spec.Workload,
+				AdvisedKey:    key,
+				AdvisedCycles: r.WallCycles,
+				BestKey:       res.Best.Key,
+				BestCycles:    res.Best.WallCycles,
+			}, nil
+		}
+	}
+	return report.RegretRow{}, fmt.Errorf("tune: campaign %s never measured the advised configuration %s at full size",
+		res.Spec.ID(), key)
+}
+
+// RegretWithFallback is Regret for adaptive strategies: when the
+// campaign's schedule never reached the advised configuration at full
+// size (successive halving may eliminate it early), the advised point is
+// measured directly through the same RunTrial path — out of schedule and
+// budget, but methodologically identical.
+func RegretWithFallback(res *Result) (report.RegretRow, error) {
+	row, err := Regret(res)
+	if err == nil || res.Best == nil {
+		return row, err
+	}
+	tr, terr := core.WorkloadTraits(res.Spec.Workload)
+	if terr != nil {
+		return report.RegretRow{}, terr
+	}
+	advised := FromRecommendation(core.Advise(tr))
+	out, terr := RunTrial(TrialKey{
+		Workload: res.Spec.Workload,
+		Machine:  res.Spec.Machine,
+		Point:    advised,
+		Threads:  res.Spec.Threads,
+		Seed:     res.Spec.Seed,
+		Size:     res.Spec.Size,
+	})
+	if terr != nil {
+		return report.RegretRow{}, terr
+	}
+	return report.RegretRow{
+		Machine:       res.Spec.Machine,
+		Workload:      res.Spec.Workload,
+		AdvisedKey:    advised.Key(),
+		AdvisedCycles: out.Cycles,
+		BestKey:       res.Best.Key,
+		BestCycles:    res.Best.WallCycles,
+	}, nil
+}
+
+// CampaignsByID groups loaded records per campaign id in sorted order,
+// preserving trial order within each — the shape the summary tooling
+// consumes.
+func CampaignsByID(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		m[r.Campaign] = append(m[r.Campaign], r)
+	}
+	for _, id := range sortedKeys(m) {
+		rs := m[id]
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].Trial < rs[b].Trial })
+		m[id] = rs
+	}
+	return m
+}

@@ -1,0 +1,487 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Strategy names. Every strategy is deterministic: for a fixed Spec the
+// trial schedule, every measurement, and therefore every output byte are
+// identical across worker counts and across kill/resume cycles.
+const (
+	// StrategyGrid exhaustively measures every point of the space.
+	StrategyGrid = "grid"
+	// StrategyDescent starts at the OS default and greedily walks one
+	// axis at a time to a local optimum (usually global in this space —
+	// the knobs interact weakly).
+	StrategyDescent = "descent"
+	// StrategySHA is successive halving: it races every point at a small
+	// dataset fraction and promotes the best 1/eta of the field to the
+	// next, larger rung, spending a fraction of the grid's simulated
+	// cycles to find a near-optimal configuration at full size.
+	StrategySHA = "sha"
+)
+
+// Strategies lists the campaign strategies.
+func Strategies() []string { return []string{StrategyGrid, StrategyDescent, StrategySHA} }
+
+// descentMaxPasses bounds coordinate descent: each pass sweeps every
+// axis, and the walk stops at the first pass with no improvement.
+const descentMaxPasses = 8
+
+// Spec describes one campaign. Zero values get defaults from Normalize.
+type Spec struct {
+	Strategy string
+	Space    Space
+	Workload string // "W1" or "W3"
+	Machine  string // "A", "B" or "C"
+	Threads  int    // 0 = the machine's hardware threads
+	Seed     uint64 // trial RNG seed; 0 = 1
+	Size     Size
+	// Budget bounds the campaign's total simulated cycles; 0 = unlimited.
+	// It is checked between waves (never mid-wave), and reused checkpoint
+	// trials count toward it, so budget decisions replay identically on
+	// resume.
+	Budget float64
+	// Eta is the successive-halving reduction factor (default 4): rung r
+	// keeps the best ceil(n/eta) configs and multiplies the dataset
+	// fraction by eta.
+	Eta int
+	// Rungs is the successive-halving rung count (default 3): fractions
+	// eta^-(Rungs-1) ... 1/eta, 1.
+	Rungs int
+	// Wave is the trial batch width (default 16). Waves bound both the
+	// runner's concurrency and the budget-check granularity; the width is
+	// part of the schedule, so changing it changes trial order (but not
+	// any measurement).
+	Wave int
+}
+
+// Normalize validates the spec and fills defaults, resolving Threads
+// against the target machine. Campaign and the CLI both call it; it is
+// idempotent.
+func (sp Spec) Normalize() (Spec, error) {
+	switch sp.Strategy {
+	case StrategyGrid, StrategyDescent, StrategySHA:
+	default:
+		return sp, fmt.Errorf("tune: unknown strategy %q (have grid, descent, sha)", sp.Strategy)
+	}
+	if _, err := WorkloadByID(sp.Workload); err != nil {
+		return sp, err
+	}
+	m, err := MachineFor(sp.Machine)
+	if err != nil {
+		return sp, err
+	}
+	if sp.Threads <= 0 {
+		sp.Threads = m.Spec.HardwareThreads()
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Eta <= 1 {
+		sp.Eta = 4
+	}
+	if sp.Rungs <= 0 {
+		sp.Rungs = 3
+	}
+	if sp.Wave <= 0 {
+		sp.Wave = 16
+	}
+	if sp.Space.Size() == 0 {
+		return sp, fmt.Errorf("tune: empty configuration space")
+	}
+	if sp.Size.AggRecords <= 0 || sp.Size.AggCardinality <= 0 || sp.Size.JoinR <= 0 {
+		return sp, fmt.Errorf("tune: workload size not set: %+v", sp.Size)
+	}
+	return sp, nil
+}
+
+// ID returns the campaign identity stamped into every record:
+// strategy/workload/machine.
+func (sp Spec) ID() string { return sp.Strategy + "/" + sp.Workload + "/" + sp.Machine }
+
+// ProgressFunc observes a campaign after every wave: trials completed so
+// far (including reused checkpoint trials), how many of those were
+// reused, and the simulated cycles spent. Calls are serialized.
+type ProgressFunc func(trials, reused int, spentCycles float64)
+
+// SinkFunc receives each wave's records in schedule order, exactly once
+// per record — the checkpoint flush. A nil sink keeps records in memory
+// only.
+type SinkFunc func(recs []Record) error
+
+// Result is a completed (or budget-exhausted) campaign.
+type Result struct {
+	Spec    Spec
+	Records []Record // every trial in schedule order
+	// Best is the cheapest full-fraction trial, nil if the budget ran out
+	// before any full-fraction trial completed.
+	Best *Record
+	// NewTrials and Reused partition the trial count: simulated this run
+	// versus recovered from the checkpoint.
+	NewTrials int
+	Reused    int
+	// CyclesSpent is the campaign's simulated budget consumption: the sum
+	// of wall cycles over all trials, reused ones included.
+	CyclesSpent float64
+	// Exhausted reports the campaign stopped on its cycle budget rather
+	// than completing its schedule.
+	Exhausted bool
+}
+
+// BestFull returns the cheapest trial among records at frac == 1, ties
+// broken by schedule order. Nil when no full-fraction trial exists.
+func BestFull(recs []Record) *Record {
+	var best *Record
+	for i := range recs {
+		r := &recs[i]
+		if r.Frac != 1 {
+			continue
+		}
+		if best == nil || r.WallCycles < best.WallCycles {
+			best = r
+		}
+	}
+	return best
+}
+
+// campaign is the in-flight state shared by the strategies.
+type campaign struct {
+	spec     Spec
+	runner   core.Runner
+	prior    map[TrialKey]Record
+	byKey    map[TrialKey]Record // trials already in this campaign's schedule
+	records  []Record
+	spent    float64
+	reused   int
+	newRuns  int
+	sink     SinkFunc
+	progress ProgressFunc
+}
+
+// Run executes a campaign. prior is the checkpoint to resume from
+// (records whose trial keys match scheduled trials substitute for
+// re-running them; mismatching records are ignored). sink, when non-nil,
+// is flushed after every wave so a kill loses at most one wave. The
+// returned records are the full schedule — on resume, byte-identical to
+// an uninterrupted run.
+func Run(spec Spec, runner core.Runner, prior []Record, sink SinkFunc, progress ProgressFunc) (*Result, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		spec:     spec,
+		runner:   runner,
+		prior:    make(map[TrialKey]Record, len(prior)),
+		byKey:    make(map[TrialKey]Record),
+		sink:     sink,
+		progress: progress,
+	}
+	for _, r := range prior {
+		k, err := r.trialKey()
+		if err != nil {
+			continue // unparseable prior records cannot match a scheduled trial
+		}
+		c.prior[k] = r
+	}
+
+	var serr error
+	switch spec.Strategy {
+	case StrategyGrid:
+		serr = c.grid()
+	case StrategyDescent:
+		serr = c.descent()
+	case StrategySHA:
+		serr = c.sha()
+	}
+	if serr != nil && serr != errBudget {
+		return nil, serr
+	}
+	return &Result{
+		Spec:        spec,
+		Records:     c.records,
+		Best:        BestFull(c.records),
+		NewTrials:   c.newRuns,
+		Reused:      c.reused,
+		CyclesSpent: c.spent,
+		Exhausted:   serr == errBudget,
+	}, nil
+}
+
+// errBudget is the internal stop signal raised when the cycle budget is
+// exhausted between waves.
+var errBudget = fmt.Errorf("tune: simulated-cycle budget exhausted")
+
+// key builds the trial identity for a point at a dataset fraction.
+func (c *campaign) key(p Point, frac float64) TrialKey {
+	return TrialKey{
+		Workload: c.spec.Workload,
+		Machine:  c.spec.Machine,
+		Point:    p,
+		Threads:  c.spec.Threads,
+		Seed:     c.spec.Seed,
+		Size:     c.spec.Size.Scaled(frac),
+	}
+}
+
+// measure evaluates every point at the given fraction, in waves of
+// spec.Wave trials. Results come back aligned with points. Trials already
+// in this campaign's schedule are not re-recorded; trials found in the
+// checkpoint are adopted without simulating. Between waves the cycle
+// budget is checked; on exhaustion measure returns errBudget and the
+// partial schedule stands.
+func (c *campaign) measure(points []Point, frac float64, rung int) ([]TrialResult, error) {
+	out := make([]TrialResult, len(points))
+	for wave := 0; wave < len(points); wave += c.spec.Wave {
+		if c.spec.Budget > 0 && c.spent >= c.spec.Budget {
+			return out, errBudget
+		}
+		end := wave + c.spec.Wave
+		if end > len(points) {
+			end = len(points)
+		}
+
+		// Partition the wave: trials this campaign already measured are
+		// answered from byKey; the rest are scheduled now, in wave order.
+		type job struct {
+			at  int // index into points
+			key TrialKey
+		}
+		var jobs []job
+		for i := wave; i < end; i++ {
+			k := c.key(points[i], frac)
+			if rec, ok := c.byKey[k]; ok {
+				out[i] = rec.result()
+				continue
+			}
+			jobs = append(jobs, job{at: i, key: k})
+		}
+
+		// Simulate the missing trials on the worker pool. Checkpointed
+		// trials skip the simulator but still join the schedule.
+		type cell struct {
+			rec    Record
+			reused bool
+		}
+		cells, err := core.Collect(c.runner, len(jobs), func(j int) (cell, error) {
+			k := jobs[j].key
+			if prior, ok := c.prior[k]; ok {
+				return cell{rec: prior, reused: true}, nil
+			}
+			res, err := RunTrial(k)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{rec: Record{
+				Schema:     SchemaVersion,
+				Workload:   k.Workload,
+				Machine:    k.Machine,
+				Key:        k.Point.Key(),
+				Point:      pointJSON(k.Point),
+				Threads:    k.Threads,
+				Seed:       k.Seed,
+				Size:       SizeJSON{k.Size.AggRecords, k.Size.AggCardinality, k.Size.JoinR},
+				WallCycles: res.Cycles,
+				LAR:        res.LAR,
+				Counters:   res.Counters,
+				Breakdown:  res.Breakdown,
+			}}, nil
+		})
+		if err != nil {
+			return out, err
+		}
+
+		// Commit the wave in schedule order. Campaign-level metadata is
+		// restamped even on reused records, so a checkpoint written by a
+		// different strategy (or an older schedule) still replays to the
+		// current campaign's exact bytes.
+		flushFrom := len(c.records)
+		for j, cl := range cells {
+			rec := cl.rec
+			rec.Schema = SchemaVersion
+			rec.Campaign = c.spec.ID()
+			rec.Strategy = c.spec.Strategy
+			rec.Trial = len(c.records)
+			rec.Rung = rung
+			rec.Frac = frac
+			c.records = append(c.records, rec)
+			c.byKey[jobs[j].key] = rec
+			out[jobs[j].at] = rec.result()
+			c.spent += rec.WallCycles
+			if cl.reused {
+				c.reused++
+			} else {
+				c.newRuns++
+			}
+		}
+		if c.sink != nil && flushFrom < len(c.records) {
+			if err := c.sink(c.records[flushFrom:]); err != nil {
+				return out, err
+			}
+		}
+		if c.progress != nil {
+			c.progress(len(c.records), c.reused, c.spent)
+		}
+	}
+	return out, nil
+}
+
+// grid measures every point of the space at full size.
+func (c *campaign) grid() error {
+	_, err := c.measure(c.spec.Space.Points(), 1, 0)
+	return err
+}
+
+// descent starts at the OS default (the first value of every open axis)
+// and repeatedly sweeps the axes in order, moving to the best value on
+// each axis, until a full pass improves nothing.
+func (c *campaign) descent() error {
+	s := c.spec.Space
+	cur := Point{
+		Placement: s.Placements[0],
+		Policy:    s.Policies[0],
+		Allocator: s.Allocators[0],
+		AutoNUMA:  s.AutoNUMA[0],
+		THP:       s.THP[0],
+	}
+	res, err := c.measure([]Point{cur}, 1, 0)
+	if err != nil {
+		return err
+	}
+	curCycles := res[0].Cycles
+
+	for pass := 0; pass < descentMaxPasses; pass++ {
+		improved := false
+		for axis := 0; axis < 5; axis++ {
+			cands := axisCandidates(s, cur, axis)
+			if len(cands) < 2 {
+				continue
+			}
+			vals, err := c.measure(cands, 1, 0)
+			if err != nil {
+				return err
+			}
+			// Move only on a strict improvement; ties keep the current
+			// value (earlier candidates win among equals by the < test
+			// running in candidate order).
+			for i, v := range vals {
+				if v.Cycles < curCycles {
+					cur, curCycles = cands[i], v.Cycles
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}
+
+// axisCandidates returns cur varied over every open value of one axis
+// (current value included, in axis order).
+func axisCandidates(s Space, cur Point, axis int) []Point {
+	var cands []Point
+	switch axis {
+	case 0:
+		for _, v := range s.Placements {
+			p := cur
+			p.Placement = v
+			cands = append(cands, p)
+		}
+	case 1:
+		for _, v := range s.Policies {
+			p := cur
+			p.Policy = v
+			cands = append(cands, p)
+		}
+	case 2:
+		for _, v := range s.Allocators {
+			p := cur
+			p.Allocator = v
+			cands = append(cands, p)
+		}
+	case 3:
+		for _, v := range s.AutoNUMA {
+			p := cur
+			p.AutoNUMA = v
+			cands = append(cands, p)
+		}
+	case 4:
+		for _, v := range s.THP {
+			p := cur
+			p.THP = v
+			cands = append(cands, p)
+		}
+	}
+	return cands
+}
+
+// sha runs successive halving: rung r races the surviving points at
+// dataset fraction eta^(r-Rungs+1) and promotes the cheapest ceil(n/eta)
+// to the next rung; the final rung runs at full size.
+func (c *campaign) sha() error {
+	type ranked struct {
+		point Point
+		order int // enumeration index, the deterministic tie-break
+	}
+	pts := c.spec.Space.Points()
+	survivors := make([]ranked, len(pts))
+	for i, p := range pts {
+		survivors[i] = ranked{point: p, order: i}
+	}
+	R := c.spec.Rungs
+	for r := 0; r < R; r++ {
+		frac := math.Pow(float64(c.spec.Eta), float64(r-R+1))
+		cands := make([]Point, len(survivors))
+		for i, s := range survivors {
+			cands[i] = s.point
+		}
+		vals, err := c.measure(cands, frac, r)
+		if err != nil {
+			return err
+		}
+		if r == R-1 {
+			break
+		}
+		// Rank this rung and keep the best ceil(n/eta).
+		type scored struct {
+			ranked
+			cycles float64
+		}
+		sc := make([]scored, len(survivors))
+		for i, s := range survivors {
+			sc[i] = scored{ranked: s, cycles: vals[i].Cycles}
+		}
+		insertionSort(sc, func(a, b scored) bool {
+			if a.cycles != b.cycles {
+				return a.cycles < b.cycles
+			}
+			return a.order < b.order
+		})
+		keep := (len(sc) + c.spec.Eta - 1) / c.spec.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		survivors = survivors[:0]
+		for _, s := range sc[:keep] {
+			survivors = append(survivors, s.ranked)
+		}
+	}
+	return nil
+}
+
+// insertionSort is a tiny stable sort; survivor lists are small and the
+// comparator is total, but keeping the sort local documents that rung
+// ranking is part of the deterministic schedule.
+func insertionSort[T any](xs []T, less func(a, b T) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

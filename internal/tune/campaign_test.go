@@ -1,0 +1,249 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// frozenSpace is a 24-point subspace (placements x policies x thp) used
+// where exhaustive comparisons must stay cheap.
+func frozenSpace(t *testing.T) Space {
+	t.Helper()
+	s, err := ParseFreezes(DefaultSpace(), "allocator=tbbmalloc,autonuma=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	space := frozenSpace(t)
+	spec := Spec{Strategy: StrategyGrid, Space: space, Workload: "W1", Machine: "A", Size: tinySize}
+	res, err := Run(spec, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != space.Size() {
+		t.Fatalf("grid ran %d trials over a %d-point space", len(res.Records), space.Size())
+	}
+	if res.Best == nil {
+		t.Fatal("grid campaign has no best")
+	}
+
+	// Brute force through the same trial path must agree exactly.
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCycles := -1.0
+	bestKey := ""
+	for _, p := range space.Points() {
+		out, err := RunTrial(TrialKey{
+			Workload: "W1", Machine: "A", Point: p,
+			Threads: norm.Threads, Seed: norm.Seed, Size: tinySize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestCycles < 0 || out.Cycles < bestCycles {
+			bestCycles, bestKey = out.Cycles, p.Key()
+		}
+	}
+	if res.Best.Key != bestKey || res.Best.WallCycles != bestCycles {
+		t.Errorf("grid best %s (%.0f), brute force %s (%.0f)",
+			res.Best.Key, res.Best.WallCycles, bestKey, bestCycles)
+	}
+}
+
+func TestDescentImprovesOnDefault(t *testing.T) {
+	res, err := Run(Spec{
+		Strategy: StrategyDescent, Space: DefaultSpace(),
+		Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Records) == 0 {
+		t.Fatal("descent produced nothing")
+	}
+	// Trial 0 is the OS default; the walk must never end above it.
+	if res.Records[0].Key != DefaultPoint().Key() {
+		t.Fatalf("descent started at %s, want the OS default", res.Records[0].Key)
+	}
+	if res.Best.WallCycles > res.Records[0].WallCycles {
+		t.Errorf("descent best %.0f is worse than its default start %.0f",
+			res.Best.WallCycles, res.Records[0].WallCycles)
+	}
+	// The walk never evaluates a point twice.
+	seen := map[string]bool{}
+	for _, r := range res.Records {
+		if seen[r.Key] {
+			t.Errorf("descent re-recorded %s", r.Key)
+		}
+		seen[r.Key] = true
+	}
+	// Greedy search must spend far less than the 240-point grid would.
+	if len(res.Records) >= DefaultSpace().Size()/2 {
+		t.Errorf("descent ran %d trials, expected a small fraction of %d",
+			len(res.Records), DefaultSpace().Size())
+	}
+}
+
+func TestSHANearOptimalAtFractionalSpend(t *testing.T) {
+	grid, err := Run(Spec{
+		Strategy: StrategyGrid, Space: DefaultSpace(),
+		Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha, err := Run(Spec{
+		Strategy: StrategySHA, Space: DefaultSpace(),
+		Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha.Best == nil {
+		t.Fatal("sha campaign has no full-size best")
+	}
+	// Rungs must escalate fraction up to exactly 1.
+	fracs := map[int]float64{}
+	for _, r := range sha.Records {
+		fracs[r.Rung] = r.Frac
+	}
+	if len(fracs) != 3 || fracs[2] != 1 || !(fracs[0] < fracs[1] && fracs[1] < fracs[2]) {
+		t.Errorf("sha rung fractions %v, want 3 escalating rungs ending at 1", fracs)
+	}
+	// The acceptance bar (at cal in EXPERIMENTS.md, checked here at tiny):
+	// within 5% of the exhaustive optimum for under 30% of its simulated
+	// cycles.
+	if sha.Best.WallCycles > grid.Best.WallCycles*1.05 {
+		t.Errorf("sha best %.0f not within 5%% of grid best %.0f",
+			sha.Best.WallCycles, grid.Best.WallCycles)
+	}
+	if sha.CyclesSpent > 0.30*grid.CyclesSpent {
+		t.Errorf("sha spent %.0f cycles, more than 30%% of grid's %.0f",
+			sha.CyclesSpent, grid.CyclesSpent)
+	}
+}
+
+func TestBudgetStopsCampaign(t *testing.T) {
+	space := frozenSpace(t)
+	full, err := Run(Spec{
+		Strategy: StrategyGrid, Space: space, Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := full.CyclesSpent / 4
+	cut, err := Run(Spec{
+		Strategy: StrategyGrid, Space: space, Workload: "W1", Machine: "A",
+		Size: tinySize, Budget: budget, Wave: 4,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Exhausted {
+		t.Error("budgeted campaign did not report exhaustion")
+	}
+	if len(cut.Records) >= len(full.Records) {
+		t.Errorf("budgeted campaign ran %d of %d trials", len(cut.Records), len(full.Records))
+	}
+	// The budget is checked between waves, so overshoot is at most one wave.
+	if cut.CyclesSpent >= full.CyclesSpent {
+		t.Errorf("budgeted campaign spent %.0f of the full %.0f", cut.CyclesSpent, full.CyclesSpent)
+	}
+}
+
+func TestRegretOnGrid(t *testing.T) {
+	res, err := Run(Spec{
+		Strategy: StrategyGrid, Space: DefaultSpace(),
+		Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Regret(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Machine != "A" || row.Workload != "W1" {
+		t.Errorf("regret cell identity %s/%s", row.Machine, row.Workload)
+	}
+	if row.Regret() < 0 {
+		t.Errorf("regret %.4f negative: the grid best is not the optimum", row.Regret())
+	}
+	if row.BestKey != res.Best.Key || row.BestCycles != res.Best.WallCycles {
+		t.Errorf("regret row best %s (%.0f) != campaign best %s (%.0f)",
+			row.BestKey, row.BestCycles, res.Best.Key, res.Best.WallCycles)
+	}
+
+	// Analysis surfaces built from the same records.
+	top := TopConfigs(res.Records)
+	if len(top) != len(res.Records) {
+		t.Fatalf("TopConfigs dropped rows: %d of %d", len(top), len(res.Records))
+	}
+	if top[0].Key != res.Best.Key {
+		t.Errorf("top-1 %s != best %s", top[0].Key, res.Best.Key)
+	}
+	if dc := DefaultCycles(res.Records); dc <= 0 {
+		t.Error("grid never measured the OS default")
+	}
+	marg := Marginals(res.Spec.Space, res.Records)
+	if len(marg) != 3+4+5+2+2 {
+		t.Errorf("marginals rows %d, want one per axis value (16)", len(marg))
+	}
+	perAxisTrials := map[string]int{}
+	for _, m := range marg {
+		perAxisTrials[m.Axis] += m.Trials
+	}
+	for axis, n := range perAxisTrials {
+		if n != len(res.Records) {
+			t.Errorf("axis %s marginals cover %d trials, want %d", axis, n, len(res.Records))
+		}
+	}
+}
+
+func TestRegretFallbackOnAdaptiveStrategies(t *testing.T) {
+	// Freeze the space so the advised configuration is excluded, forcing
+	// the fallback measurement path.
+	s, err := ParseFreezes(DefaultSpace(), "allocator=ptmalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Spec{
+		Strategy: StrategyDescent, Space: s, Workload: "W1", Machine: "A", Size: tinySize,
+	}, core.Serial, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Regret(res); err == nil {
+		t.Fatal("Regret found an advised config the space excludes")
+	}
+	row, err := RegretWithFallback(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AdvisedCycles <= 0 || row.BestCycles <= 0 {
+		t.Errorf("fallback regret row not measured: %+v", row)
+	}
+}
+
+func TestCampaignsByID(t *testing.T) {
+	res := descentResult(t)
+	groups := CampaignsByID(res.Records)
+	if len(groups) != 1 {
+		t.Fatalf("%d campaign groups, want 1", len(groups))
+	}
+	rs, ok := groups["descent/W1/A"]
+	if !ok || len(rs) != len(res.Records) {
+		t.Fatalf("group descent/W1/A missing or incomplete: %v", ok)
+	}
+	for i := range rs {
+		if rs[i].Trial != i {
+			t.Fatalf("group not in trial order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package tune
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The ISSUE acceptance bar: a campaign at fixed seed and budget must be
+// byte-identical whether it runs serially, on a parallel runner, or
+// killed and resumed from a checkpoint prefix. These tests exercise all
+// three paths for every strategy on an allocator-frozen 48-point space.
+
+func detSpace(t *testing.T) Space {
+	t.Helper()
+	s, err := ParseFreezes(DefaultSpace(), "allocator=tbbmalloc,autonuma=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3*4*2 {
+		t.Fatalf("determinism subspace has %d points", s.Size())
+	}
+	return s
+}
+
+func campaignBytes(t *testing.T, strategy string, runner core.Runner, prior []Record) ([]byte, *Result) {
+	t.Helper()
+	res, err := Run(Spec{
+		Strategy: strategy, Space: detSpace(t),
+		Workload: "W1", Machine: "A", Size: tinySize, Wave: 8,
+	}, runner, prior, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+func TestCampaignSerialParallelResumeIdentical(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			serial, base := campaignBytes(t, strategy, core.Serial, nil)
+			if len(base.Records) == 0 {
+				t.Fatal("campaign produced no records")
+			}
+
+			par, parRes := campaignBytes(t, strategy, core.Runner{Workers: 4}, nil)
+			if !bytes.Equal(serial, par) {
+				t.Error("parallel-4 JSONL differs from serial")
+			}
+			if parRes.NewTrials != base.NewTrials || parRes.CyclesSpent != base.CyclesSpent {
+				t.Errorf("parallel accounting drifted: %d/%.0f vs %d/%.0f",
+					parRes.NewTrials, parRes.CyclesSpent, base.NewTrials, base.CyclesSpent)
+			}
+
+			// Kill-and-resume: adopt the first 60% of the records as a
+			// checkpoint, rerun, and demand the same bytes while only the
+			// missing suffix is executed.
+			cut := len(base.Records) * 6 / 10
+			if cut == 0 {
+				cut = 1
+			}
+			prior := append([]Record{}, base.Records[:cut]...)
+			resumed, resRes := campaignBytes(t, strategy, core.Serial, prior)
+			if !bytes.Equal(serial, resumed) {
+				t.Error("kill-and-resume JSONL differs from serial")
+			}
+			if resRes.Reused != cut {
+				t.Errorf("resume reused %d trials, want %d", resRes.Reused, cut)
+			}
+			if resRes.NewTrials != len(base.Records)-cut {
+				t.Errorf("resume ran %d new trials, want %d", resRes.NewTrials, len(base.Records)-cut)
+			}
+
+			// A complete checkpoint replays the whole campaign without a
+			// single new simulation.
+			replayed, repRes := campaignBytes(t, strategy, core.Serial, base.Records)
+			if !bytes.Equal(serial, replayed) {
+				t.Error("full-checkpoint replay JSONL differs from serial")
+			}
+			if repRes.NewTrials != 0 {
+				t.Errorf("full replay still ran %d trials", repRes.NewTrials)
+			}
+			if repRes.CyclesSpent != base.CyclesSpent {
+				t.Errorf("full replay spent %.0f cycles, want %.0f (budget replay broken)",
+					repRes.CyclesSpent, base.CyclesSpent)
+			}
+		})
+	}
+}
+
+func TestCrossStrategyCheckpointReuse(t *testing.T) {
+	// A grid checkpoint covers every full-size point, so descent over the
+	// same cell should adopt all of its measurements and re-run nothing.
+	_, grid := campaignBytes(t, StrategyGrid, core.Serial, nil)
+	serial, base := campaignBytes(t, StrategyDescent, core.Serial, nil)
+	reused, res := campaignBytes(t, StrategyDescent, core.Serial, grid.Records)
+	if !bytes.Equal(serial, reused) {
+		t.Error("descent over a grid checkpoint drifted from the fresh run")
+	}
+	if res.NewTrials != 0 || res.Reused != len(base.Records) {
+		t.Errorf("descent reused %d and ran %d over a full grid checkpoint", res.Reused, res.NewTrials)
+	}
+	for i := range res.Records {
+		if res.Records[i].Strategy != StrategyDescent || res.Records[i].Campaign != "descent/W1/A" {
+			t.Fatalf("record %d kept the donor campaign's metadata: %s/%s",
+				i, res.Records[i].Campaign, res.Records[i].Strategy)
+		}
+	}
+}
+
+func TestSinkStreamsScheduleOrder(t *testing.T) {
+	var streamed []Record
+	flushes := 0
+	sink := func(recs []Record) error {
+		flushes++
+		streamed = append(streamed, recs...)
+		return nil
+	}
+	res, err := Run(Spec{
+		Strategy: StrategySHA, Space: detSpace(t),
+		Workload: "W1", Machine: "A", Size: tinySize, Wave: 8,
+	}, core.Serial, nil, sink, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushes < 2 {
+		t.Errorf("sink flushed %d times, expected per-wave streaming", flushes)
+	}
+	if len(streamed) != len(res.Records) {
+		t.Fatalf("sink saw %d records, campaign has %d", len(streamed), len(res.Records))
+	}
+	for i := range streamed {
+		if streamed[i].Trial != i || streamed[i].Key != res.Records[i].Key {
+			t.Fatalf("sink stream out of schedule order at %d", i)
+		}
+	}
+}
+
+func TestSinkErrorAborts(t *testing.T) {
+	boom := fmt.Errorf("disk full")
+	_, err := Run(Spec{
+		Strategy: StrategyGrid, Space: detSpace(t),
+		Workload: "W1", Machine: "A", Size: tinySize, Wave: 8,
+	}, core.Serial, nil, func([]Record) error { return boom }, nil)
+	if err == nil {
+		t.Fatal("sink failure swallowed")
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls int
+	var lastTrials, lastReused int
+	var lastSpent float64
+	progress := func(trials, reused int, spent float64) {
+		calls++
+		lastTrials, lastReused, lastSpent = trials, reused, spent
+	}
+	res, err := Run(Spec{
+		Strategy: StrategyGrid, Space: detSpace(t),
+		Workload: "W1", Machine: "A", Size: tinySize, Wave: 8,
+	}, core.Serial, nil, nil, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress never reported")
+	}
+	if lastTrials != len(res.Records) || lastReused != res.Reused || lastSpent != res.CyclesSpent {
+		t.Errorf("final progress (%d, %d, %.0f) != result (%d, %d, %.0f)",
+			lastTrials, lastReused, lastSpent, len(res.Records), res.Reused, res.CyclesSpent)
+	}
+}

@@ -1,0 +1,363 @@
+// Package tune searches the paper's application-agnostic knob space —
+// thread placement x memory policy x allocator x AutoNUMA x THP — on the
+// simulator. A Space enumerates the candidate configurations (with
+// per-axis freezing), a Campaign races them under one of three pluggable
+// strategies (exhaustive grid, greedy coordinate descent, successive
+// halving budgeted by simulated cycles), and every trial is written as a
+// deterministic JSONL record under the repro/tune/v1 schema so a killed
+// campaign can resume from its artifact and re-run only missing trials.
+//
+// Campaigns dispatch their trial waves through core.Runner, so they are
+// parallel yet byte-identical to a serial run; and they execute workloads
+// through the same RunTrial helper cmd/advisor validates with, so the
+// flowchart's advice and the campaign optimum are measured identically.
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vmm"
+)
+
+// Point is one candidate configuration: a single combination of the five
+// application-agnostic knobs of Table IV. The workload-specific axes
+// (thread count, dataset, machine) live on the campaign, not the point.
+type Point struct {
+	Placement machine.Placement
+	Policy    vmm.Policy
+	Allocator string
+	AutoNUMA  bool
+	THP       bool
+}
+
+// Key returns the point's canonical identity string, used for record
+// lookup on resume and for every rendered table.
+func (p Point) Key() string {
+	return p.Placement.String() + "/" + p.Policy.String() + "/" + p.Allocator +
+		"/numa=" + onOff(p.AutoNUMA) + "/thp=" + onOff(p.THP)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// Config realizes the point as a run configuration for n threads. The
+// Preferred policy targets node 0, as the paper's Preferred runs do.
+func (p Point) Config(threads int, seed uint64) machine.RunConfig {
+	return machine.RunConfig{
+		Threads:   threads,
+		Placement: p.Placement,
+		Policy:    p.Policy,
+		Allocator: p.Allocator,
+		AutoNUMA:  p.AutoNUMA,
+		THP:       p.THP,
+		Seed:      seed,
+	}
+}
+
+// DefaultPoint is the OS out-of-the-box configuration (the first value of
+// every axis of DefaultSpace): unmanaged threads, first-touch placement,
+// ptmalloc, AutoNUMA and THP on. Coordinate descent starts here.
+func DefaultPoint() Point {
+	return Point{
+		Placement: machine.PlaceNone,
+		Policy:    vmm.FirstTouch,
+		Allocator: "ptmalloc",
+		AutoNUMA:  true,
+		THP:       true,
+	}
+}
+
+// FromRecommendation converts the Figure 10 flowchart's output into a
+// tuner point, so advice can be looked up inside campaign results.
+func FromRecommendation(r core.Recommendation) Point {
+	return Point{
+		Placement: r.Placement,
+		Policy:    r.Policy,
+		Allocator: r.Allocator,
+		AutoNUMA:  !r.DisableAutoNUMA,
+		THP:       !r.DisableTHP,
+	}
+}
+
+// Space is the candidate set of a campaign: the values still open on each
+// axis. The zero value is empty; start from DefaultSpace and freeze axes
+// down. Axis value order is significant — enumeration order breaks ties
+// deterministically, and the first value of every axis is the OS default.
+type Space struct {
+	Placements []machine.Placement
+	Policies   []vmm.Policy
+	Allocators []string
+	AutoNUMA   []bool
+	THP        []bool
+}
+
+// DefaultSpace returns the full application-agnostic knob space the paper
+// sweeps: 3 placements x 4 policies x 5 workload allocators x AutoNUMA
+// on/off x THP on/off = 240 points. The allocator list is the paper's
+// workload set (mcmalloc and supermalloc are dropped after the
+// microbenchmark, as in Figure 6).
+func DefaultSpace() Space {
+	return Space{
+		Placements: []machine.Placement{machine.PlaceNone, machine.PlaceSparse, machine.PlaceDense},
+		Policies:   vmm.Policies(),
+		Allocators: alloc.WorkloadNames(),
+		AutoNUMA:   []bool{true, false},
+		THP:        []bool{true, false},
+	}
+}
+
+// Size returns the number of points the space enumerates.
+func (s Space) Size() int {
+	return len(s.Placements) * len(s.Policies) * len(s.Allocators) * len(s.AutoNUMA) * len(s.THP)
+}
+
+// Points enumerates every candidate in deterministic order: placement
+// outermost, then policy, allocator, AutoNUMA, THP.
+func (s Space) Points() []Point {
+	pts := make([]Point, 0, s.Size())
+	for _, pl := range s.Placements {
+		for _, po := range s.Policies {
+			for _, al := range s.Allocators {
+				for _, an := range s.AutoNUMA {
+					for _, th := range s.THP {
+						pts = append(pts, Point{pl, po, al, an, th})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Contains reports whether p is a member of the space.
+func (s Space) Contains(p Point) bool {
+	return containsPlacement(s.Placements, p.Placement) &&
+		containsPolicy(s.Policies, p.Policy) &&
+		containsString(s.Allocators, p.Allocator) &&
+		containsBool(s.AutoNUMA, p.AutoNUMA) &&
+		containsBool(s.THP, p.THP)
+}
+
+func containsPlacement(vs []machine.Placement, v machine.Placement) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPolicy(vs []vmm.Policy, v vmm.Policy) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(vs []string, v string) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsBool(vs []bool, v bool) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AxisNames lists the freezable axes in enumeration order.
+func AxisNames() []string {
+	return []string{"placement", "policy", "allocator", "autonuma", "thp"}
+}
+
+// Freeze pins one axis to a single value, shrinking the space. Axis names
+// are those of AxisNames; values are the rendered names ("Sparse",
+// "Interleave", "tbbmalloc") or on/off for the boolean axes. The value
+// must be a member of the axis' current candidate list.
+func (s Space) Freeze(axis, value string) (Space, error) {
+	switch strings.ToLower(axis) {
+	case "placement":
+		for _, pl := range s.Placements {
+			if strings.EqualFold(pl.String(), value) {
+				s.Placements = []machine.Placement{pl}
+				return s, nil
+			}
+		}
+	case "policy":
+		for _, po := range s.Policies {
+			if strings.EqualFold(po.String(), value) {
+				s.Policies = []vmm.Policy{po}
+				return s, nil
+			}
+		}
+	case "allocator":
+		for _, al := range s.Allocators {
+			if strings.EqualFold(al, value) {
+				s.Allocators = []string{al}
+				return s, nil
+			}
+		}
+	case "autonuma":
+		b, err := parseOnOff(value)
+		if err != nil {
+			return s, fmt.Errorf("tune: freeze autonuma: %w", err)
+		}
+		if !containsBool(s.AutoNUMA, b) {
+			break
+		}
+		s.AutoNUMA = []bool{b}
+		return s, nil
+	case "thp":
+		b, err := parseOnOff(value)
+		if err != nil {
+			return s, fmt.Errorf("tune: freeze thp: %w", err)
+		}
+		if !containsBool(s.THP, b) {
+			break
+		}
+		s.THP = []bool{b}
+		return s, nil
+	default:
+		return s, fmt.Errorf("tune: unknown axis %q (want one of %s)",
+			axis, strings.Join(AxisNames(), ", "))
+	}
+	return s, fmt.Errorf("tune: axis %s has no candidate value %q", strings.ToLower(axis), value)
+}
+
+// ParseFreezes applies a comma-separated axis=value freeze specification,
+// e.g. "placement=Sparse,thp=off".
+func ParseFreezes(s Space, spec string) (Space, error) {
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		axis, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("tune: malformed freeze %q (want axis=value)", part)
+		}
+		var err error
+		s, err = s.Freeze(strings.TrimSpace(axis), strings.TrimSpace(value))
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseOnOff(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad value %q (want on or off)", v)
+}
+
+// Axis is one knob with its open values rendered as strings, plus an
+// accessor reading a point's value on that axis — the shape the marginal
+// analysis consumes.
+type Axis struct {
+	Name   string
+	Values []string
+	Of     func(Point) string
+}
+
+// Axes returns the space's axes in enumeration order.
+func (s Space) Axes() []Axis {
+	placements := make([]string, len(s.Placements))
+	for i, v := range s.Placements {
+		placements[i] = v.String()
+	}
+	policies := make([]string, len(s.Policies))
+	for i, v := range s.Policies {
+		policies[i] = v.String()
+	}
+	onOffs := func(vs []bool) []string {
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = onOff(v)
+		}
+		return out
+	}
+	return []Axis{
+		{Name: "placement", Values: placements, Of: func(p Point) string { return p.Placement.String() }},
+		{Name: "policy", Values: policies, Of: func(p Point) string { return p.Policy.String() }},
+		{Name: "allocator", Values: append([]string(nil), s.Allocators...), Of: func(p Point) string { return p.Allocator }},
+		{Name: "autonuma", Values: onOffs(s.AutoNUMA), Of: func(p Point) string { return onOff(p.AutoNUMA) }},
+		{Name: "thp", Values: onOffs(s.THP), Of: func(p Point) string { return onOff(p.THP) }},
+	}
+}
+
+// parsePoint reconstructs a Point from its serialized string fields,
+// validating every name — the inverse of the record encoding, used when
+// resuming a campaign from its JSONL.
+func parsePoint(placement, policy, allocator, autonuma, thp string) (Point, error) {
+	var p Point
+	switch placement {
+	case machine.PlaceNone.String():
+		p.Placement = machine.PlaceNone
+	case machine.PlaceSparse.String():
+		p.Placement = machine.PlaceSparse
+	case machine.PlaceDense.String():
+		p.Placement = machine.PlaceDense
+	default:
+		return p, fmt.Errorf("tune: unknown placement %q", placement)
+	}
+	found := false
+	for _, po := range vmm.Policies() {
+		if po.String() == policy {
+			p.Policy, found = po, true
+			break
+		}
+	}
+	if !found {
+		return p, fmt.Errorf("tune: unknown policy %q", policy)
+	}
+	if !containsString(alloc.Names(), allocator) {
+		return p, fmt.Errorf("tune: unknown allocator %q", allocator)
+	}
+	p.Allocator = allocator
+	an, err := parseOnOff(autonuma)
+	if err != nil {
+		return p, fmt.Errorf("tune: autonuma: %w", err)
+	}
+	th, err := parseOnOff(thp)
+	if err != nil {
+		return p, fmt.Errorf("tune: thp: %w", err)
+	}
+	p.AutoNUMA, p.THP = an, th
+	return p, nil
+}
+
+// sortedKeys is a small helper for deterministic map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,170 @@
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/query"
+)
+
+// Size scales a campaign's workloads. It deliberately mirrors the
+// workload-relevant fields of experiments.Scale (which converts via
+// experiments.TuneSize), so tuner trials and figure grids run identical
+// kernels on identical datasets — and share the memoized builds.
+type Size struct {
+	AggRecords     int // W1 dataset rows
+	AggCardinality int // W1 group-by cardinality
+	JoinR          int // W3 build rows (probe side is 16x)
+}
+
+// Scaled shrinks the size to the given fraction of its rows, used by the
+// successive-halving rungs. Every dimension scales together so cache and
+// cardinality ratios are preserved; frac >= 1 returns the size unchanged
+// (bit-for-bit, so full-fraction trials are comparable across strategies).
+func (z Size) Scaled(frac float64) Size {
+	if frac >= 1 {
+		return z
+	}
+	scale := func(n int) int {
+		v := int(float64(n) * frac)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Size{
+		AggRecords:     scale(z.AggRecords),
+		AggCardinality: scale(z.AggCardinality),
+		JoinR:          scale(z.JoinR),
+	}
+}
+
+// Workload is one tunable kernel: the simulated workload a campaign (or
+// the advisor's -validate) races configurations on. Run executes the
+// kernel on a configured machine and returns its wall cycles; dataset
+// generation is memoized, so only the measured phase varies per trial.
+type Workload struct {
+	// ID is the paper's workload id, e.g. "W1".
+	ID string
+	// Name is the paper's workload title.
+	Name string
+	// Run executes the kernel and returns measured wall cycles.
+	Run func(m *machine.Machine, z Size) float64
+}
+
+// Workloads lists the tunable kernels in paper order. W1 and W3 are the
+// two the paper carries through the full knob space (W2/W4 are variants
+// with the same axes); they use the same dataset seeds as the figure
+// drivers, so campaigns reuse the memoized datasets.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			ID: "W1", Name: "Holistic Aggregation",
+			Run: func(m *machine.Machine, z Size) float64 {
+				recs := datagen.CachedGenerate(datagen.MovingClusterDist, z.AggRecords, z.AggCardinality, 11)
+				out := query.Aggregate(m, query.AggregationSpec{
+					Records:     recs,
+					Cardinality: z.AggCardinality,
+					Holistic:    true,
+				})
+				return out.Result.WallCycles
+			},
+		},
+		{
+			ID: "W3", Name: "Hash Join",
+			Run: func(m *machine.Machine, z Size) float64 {
+				tables := datagen.CachedJoin(z.JoinR, datagen.DefaultJoinRatio, 17)
+				out := query.HashJoin(m, query.JoinSpec{Tables: tables})
+				return out.Result.WallCycles
+			},
+		},
+	}
+}
+
+// WorkloadByID resolves a workload id ("W1", "W3").
+func WorkloadByID(id string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.ID == id {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("tune: unknown workload %q (have W1, W3)", id)
+}
+
+// WorkloadIDs lists the tunable workload ids.
+func WorkloadIDs() []string {
+	ws := Workloads()
+	ids := make([]string, len(ws))
+	for i, w := range ws {
+		ids[i] = w.ID
+	}
+	return ids
+}
+
+// MachineFor builds a fresh simulated machine by letter (A, B or C).
+func MachineFor(letter string) (*machine.Machine, error) {
+	switch letter {
+	case "A", "a":
+		return machine.NewA(), nil
+	case "B", "b":
+		return machine.NewB(), nil
+	case "C", "c":
+		return machine.NewC(), nil
+	}
+	return nil, fmt.Errorf("tune: unknown machine %q (have A, B, C)", letter)
+}
+
+// TrialKey is the identity of one measurement: everything that determines
+// its outcome. Identical keys produce identical results (the simulator is
+// deterministic), which is what makes checkpoint/resume sound — a record
+// found under a trial's key substitutes for re-running it.
+type TrialKey struct {
+	Workload string
+	Machine  string
+	Point    Point
+	Threads  int
+	Seed     uint64
+	Size     Size
+}
+
+// TrialResult is one measurement: the simulated wall cycles plus the
+// derived metrics each record carries.
+type TrialResult struct {
+	Cycles    float64
+	LAR       float64
+	Counters  machine.Counters
+	Breakdown map[string]float64
+}
+
+// RunTrial executes one trial on a fresh machine with cycle attribution
+// on (observation-only: profiled runs are bit-identical to unprofiled
+// ones). This is the single measurement path shared by campaigns and the
+// advisor's -validate, so the flowchart and the tuner cannot disagree on
+// methodology.
+func RunTrial(k TrialKey) (TrialResult, error) {
+	wl, err := WorkloadByID(k.Workload)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	m, err := MachineFor(k.Machine)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	threads := k.Threads
+	if threads <= 0 {
+		threads = m.Spec.HardwareThreads()
+	}
+	m.SetProfiling(true)
+	m.Configure(k.Point.Config(threads, k.Seed))
+	cycles := wl.Run(m, k.Size)
+	res := TrialResult{
+		Cycles:   cycles,
+		Counters: m.Counters(),
+	}
+	res.LAR = res.Counters.LAR()
+	if p := m.Profile(); p != nil {
+		res.Breakdown = p.TotalsByName()
+	}
+	return res, nil
+}

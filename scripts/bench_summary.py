@@ -1,42 +1,68 @@
 #!/usr/bin/env python3
-"""Summarize a numabench/tpchbench JSONL results file per experiment.
+"""Summarize numabench/tpchbench/numatune JSONL results files.
 
-Usage: bench_summary.py results.jsonl > BENCH.json
+Usage: bench_summary.py results.jsonl [more.jsonl ...] > BENCH.json
 
-Emits one JSON object: for every experiment in the file, the record
-count, the total host wall time (seconds, summed over its cells' host_ns
-— the only nondeterministic field), and the total simulated wall cycles.
-CI regenerates this as BENCH_ci.json; the committed BENCH_pr3.json is
-one run of it on the PR's fig2+profile cal-scale sweep.
+Accepts two record layouts, distinguished by each record's schema field:
+
+- repro/bench/v1+v2 (numabench/tpchbench grid cells): grouped per
+  experiment as record count, total host wall time (seconds, summed over
+  host_ns — the only nondeterministic field), and total simulated cycles.
+- repro/tune/v1 (numatune campaign trials): grouped per campaign as
+  trials run, simulated-cycle budget spent, and the best full-fraction
+  configuration found. Campaign records carry no host_ns by design.
+
+CI regenerates this as BENCH_ci.json; the committed BENCH_pr4.json is one
+run over the PR's cal-scale fig2+profile sweep plus an sha tuning
+campaign.
 """
 import json
 import sys
 
 
 def main():
-    if len(sys.argv) != 2:
-        sys.exit("usage: bench_summary.py results.jsonl")
-    per = {}
-    with open(sys.argv[1]) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            e = per.setdefault(rec["experiment"], {
-                "records": 0,
-                "host_seconds": 0.0,
-                "sim_wall_cycles": 0.0,
-            })
-            e["records"] += 1
-            e["host_seconds"] += rec["host_ns"] / 1e9
-            e["sim_wall_cycles"] += rec["wall_cycles"]
-    for e in per.values():
+    if len(sys.argv) < 2:
+        sys.exit("usage: bench_summary.py results.jsonl [more.jsonl ...]")
+    experiments = {}
+    campaigns = {}
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("schema") == "repro/tune/v1":
+                    c = campaigns.setdefault(rec["campaign"], {
+                        "trials": 0,
+                        "sim_cycles_spent": 0.0,
+                        "best_config": None,
+                        "best_cycles": None,
+                    })
+                    c["trials"] += 1
+                    c["sim_cycles_spent"] += rec["wall_cycles"]
+                    if rec.get("frac", 1) == 1 and (
+                            c["best_cycles"] is None
+                            or rec["wall_cycles"] < c["best_cycles"]):
+                        c["best_cycles"] = rec["wall_cycles"]
+                        c["best_config"] = rec["key"]
+                else:
+                    e = experiments.setdefault(rec["experiment"], {
+                        "records": 0,
+                        "host_seconds": 0.0,
+                        "sim_wall_cycles": 0.0,
+                    })
+                    e["records"] += 1
+                    e["host_seconds"] += rec["host_ns"] / 1e9
+                    e["sim_wall_cycles"] += rec["wall_cycles"]
+    for e in experiments.values():
         e["host_seconds"] = round(e["host_seconds"], 3)
     out = {
-        "schema": "repro/bench-summary/v1",
-        "experiments": {k: per[k] for k in sorted(per)},
+        "schema": "repro/bench-summary/v2",
+        "experiments": {k: experiments[k] for k in sorted(experiments)},
     }
+    if campaigns:
+        out["campaigns"] = {k: campaigns[k] for k in sorted(campaigns)}
     json.dump(out, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
 
