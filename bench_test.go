@@ -222,3 +222,16 @@ func BenchmarkTable2_MachineSpecs(b *testing.B) {
 		logTables(b, i, experiments.Table2())
 	}
 }
+
+// BenchmarkAccessPathFig2Cal is the end-to-end probe the CI bench gate
+// tracks alongside the internal/machine BenchmarkAccessPath suite: the
+// Figure 2 allocator microbenchmark at cal scale, whose runtime is
+// dominated by the simulator's memory-access path. Unlike the figure
+// benchmarks above, it ignores REPRO_SCALE so gate runs are comparable.
+func BenchmarkAccessPathFig2Cal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(experiments.Cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

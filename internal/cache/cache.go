@@ -9,15 +9,24 @@
 // simulation with a fixed seed is bit-for-bit reproducible.
 package cache
 
+// way is one cache entry. A zero stamp marks the way invalid: stamps are
+// assigned from the tick counter after it is incremented, so a resident
+// entry always carries a stamp >= 1. Keeping tag and stamp adjacent (one
+// struct array instead of three parallel slices) is what makes the lookup
+// scan walk one contiguous region per set — the simulator's single hottest
+// loop.
+type way struct {
+	tag   uint64
+	stamp uint64
+}
+
 // Cache is a set-associative cache with true LRU replacement. Capacity is
 // expressed in entries (lines for a data cache, translations for a TLB);
 // the caller decides what a tag means.
 type Cache struct {
 	ways     int
 	setMask  uint64
-	tags     []uint64
-	valid    []bool
-	stamp    []uint64
+	entries  []way
 	tick     uint64
 	accesses uint64
 	misses   uint64
@@ -38,49 +47,81 @@ func New(entries, ways int) *Cache {
 	for sets*ways < entries {
 		sets <<= 1
 	}
-	n := sets * ways
 	return &Cache{
 		ways:    ways,
 		setMask: uint64(sets - 1),
-		tags:    make([]uint64, n),
-		valid:   make([]bool, n),
-		stamp:   make([]uint64, n),
+		entries: make([]way, sets*ways),
 	}
 }
 
 // Entries returns the effective capacity in entries.
-func (c *Cache) Entries() int { return len(c.tags) }
+func (c *Cache) Entries() int { return len(c.entries) }
 
 // Access looks up tag, inserting it (with LRU eviction) on a miss, and
 // reports whether the lookup hit.
+//
+// Victim selection: invalid ways carry stamp 0 and therefore lose every
+// comparison against resident stamps (>= 1), so the first invalid way wins;
+// with all ways resident the minimum stamp (true LRU, first index on the
+// impossible tie — stamps are unique) is evicted. This is decision-for-
+// decision identical to scanning validity and recency separately.
 func (c *Cache) Access(tag uint64) bool {
 	c.tick++
 	c.accesses++
 	set := int(tag&c.setMask) * c.ways
-	var victim int
-	var victimStamp uint64 = ^uint64(0)
-	for i := set; i < set+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == tag {
-			c.stamp[i] = c.tick
+	w := c.entries[set : set+c.ways]
+	victim := 0
+	victimStamp := ^uint64(0)
+	for i := range w {
+		e := &w[i]
+		if e.stamp != 0 && e.tag == tag {
+			e.stamp = c.tick
 			return true
 		}
-		if !c.valid[i] {
-			// Prefer an invalid way; stamp 0 loses every comparison
-			// below only if no earlier invalid way was chosen, so pin it.
-			if victimStamp != 0 {
-				victim, victimStamp = i, 0
-			}
-			continue
-		}
-		if c.stamp[i] < victimStamp {
-			victim, victimStamp = i, c.stamp[i]
+		if e.stamp < victimStamp {
+			victim, victimStamp = i, e.stamp
 		}
 	}
 	c.misses++
-	c.tags[victim] = tag
-	c.valid[victim] = true
-	c.stamp[victim] = c.tick
+	w[victim] = way{tag: tag, stamp: c.tick}
 	return false
+}
+
+// AccessIndexed performs Access(tag) and additionally returns the absolute
+// entry index now holding tag, so an immediately following re-access of the
+// same tag can use Repeat instead of rescanning the set.
+func (c *Cache) AccessIndexed(tag uint64) (hit bool, idx int) {
+	c.tick++
+	c.accesses++
+	set := int(tag&c.setMask) * c.ways
+	w := c.entries[set : set+c.ways]
+	victim := 0
+	victimStamp := ^uint64(0)
+	for i := range w {
+		e := &w[i]
+		if e.stamp != 0 && e.tag == tag {
+			e.stamp = c.tick
+			return true, set + i
+		}
+		if e.stamp < victimStamp {
+			victim, victimStamp = i, e.stamp
+		}
+	}
+	c.misses++
+	w[victim] = way{tag: tag, stamp: c.tick}
+	return false, set + victim
+}
+
+// Repeat re-touches the entry at idx: state-identical to Access(tag)
+// hitting that entry. The caller must guarantee that idx came from an
+// AccessIndexed for the same tag with no intervening operations on this
+// cache that could have evicted or moved the entry (the machine layer's
+// batched access path guarantees this by invalidating its handles at every
+// yield point).
+func (c *Cache) Repeat(idx int) {
+	c.tick++
+	c.accesses++
+	c.entries[idx].stamp = c.tick
 }
 
 // Contains reports whether tag is resident without updating recency or
@@ -88,7 +129,8 @@ func (c *Cache) Access(tag uint64) bool {
 func (c *Cache) Contains(tag uint64) bool {
 	set := int(tag&c.setMask) * c.ways
 	for i := set; i < set+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == tag {
+		e := &c.entries[i]
+		if e.stamp != 0 && e.tag == tag {
 			return true
 		}
 	}
@@ -99,8 +141,9 @@ func (c *Cache) Contains(tag uint64) bool {
 func (c *Cache) Invalidate(tag uint64) bool {
 	set := int(tag&c.setMask) * c.ways
 	for i := set; i < set+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == tag {
-			c.valid[i] = false
+		e := &c.entries[i]
+		if e.stamp != 0 && e.tag == tag {
+			e.stamp = 0
 			return true
 		}
 	}
@@ -110,8 +153,8 @@ func (c *Cache) Invalidate(tag uint64) bool {
 // Flush invalidates every entry (used when a thread migrates and loses its
 // core-private state).
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.entries {
+		c.entries[i].stamp = 0
 	}
 }
 

@@ -146,6 +146,75 @@ func TestDegenerateConfigs(t *testing.T) {
 	}
 }
 
+// TestAccessIndexedEquivalence: an AccessIndexed-driven cache must evolve
+// exactly like an Access-driven one over the same tag sequence, and the
+// returned index must always point at the entry now holding the tag.
+func TestAccessIndexedEquivalence(t *testing.T) {
+	a, b := New(64, 4), New(64, 4)
+	f := func(tags []uint64) bool {
+		for _, tag := range tags {
+			hitA := a.Access(tag)
+			hitB, idx := b.AccessIndexed(tag)
+			if hitA != hitB {
+				return false
+			}
+			if b.entries[idx].tag != tag || b.entries[idx].stamp == 0 {
+				return false
+			}
+		}
+		accA, missA := a.Stats()
+		accB, missB := b.Stats()
+		return accA == accB && missA == missB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatMatchesAccessHit: Repeat on an index from AccessIndexed must
+// leave the cache in the same state as a hitting Access on the same tag.
+func TestRepeatMatchesAccessHit(t *testing.T) {
+	a, b := New(16, 2), New(16, 2)
+	a.Access(9)
+	b.Access(9)
+	a.Access(9)
+	_, idx := b.AccessIndexed(9)
+	a.Access(9) // third touch via full lookup...
+	b.Repeat(idx)
+	// ...must equal the third touch via Repeat: same stats and same
+	// eviction behaviour afterwards.
+	accA, missA := a.Stats()
+	accB, missB := b.Stats()
+	if accA != accB || missA != missB {
+		t.Fatalf("stats diverge: %d/%d vs %d/%d", accA, missA, accB, missB)
+	}
+	sets := a.Entries() / 2
+	colliderA := uint64(9 + sets)
+	a.Access(colliderA)
+	b.Access(colliderA)
+	a.Access(colliderA + uint64(sets))
+	b.Access(colliderA + uint64(sets))
+	if a.Contains(9) != b.Contains(9) {
+		t.Error("recency after Repeat diverges from recency after Access hit")
+	}
+}
+
+func TestRepeatAfterMissInsert(t *testing.T) {
+	c := New(16, 2)
+	hit, idx := c.AccessIndexed(3)
+	if hit {
+		t.Fatal("cold cache must miss")
+	}
+	c.Repeat(idx) // re-touch the freshly inserted entry
+	acc, miss := c.Stats()
+	if acc != 2 || miss != 1 {
+		t.Fatalf("stats = %d/%d, want 2 accesses 1 miss", acc, miss)
+	}
+	if !c.Contains(3) {
+		t.Fatal("tag should be resident after insert+repeat")
+	}
+}
+
 func TestTLBSmallPages(t *testing.T) {
 	tlb := NewTLB(64, 32, 4)
 	if tlb.Access(100, false) {
@@ -210,5 +279,42 @@ func TestTLBStats(t *testing.T) {
 	acc, miss := tlb.Stats()
 	if acc != 3 || miss != 2 {
 		t.Fatalf("stats = %d/%d, want 3 accesses 2 misses", acc, miss)
+	}
+}
+
+func TestTLBRefRepeat(t *testing.T) {
+	tlb := NewTLB(16, 8, 2)
+	hit, ref := tlb.AccessIndexed(5, false)
+	if hit {
+		t.Fatal("cold lookup must miss")
+	}
+	if !ref.Repeat() {
+		t.Fatal("repeat of a small-page translation must hit")
+	}
+	acc, miss := tlb.Stats()
+	if acc != 2 || miss != 1 {
+		t.Fatalf("stats = %d/%d, want 2 accesses 1 miss", acc, miss)
+	}
+	// Huge translation through the 2MiB array.
+	_, href := tlb.AccessIndexed(512*2, true)
+	if !href.Repeat() {
+		t.Fatal("repeat of a huge translation must hit when the array exists")
+	}
+}
+
+func TestTLBRefNoHugeArray(t *testing.T) {
+	tlb := NewTLB(16, 0, 2)
+	hit, ref := tlb.AccessIndexed(512*2, true)
+	if hit {
+		t.Fatal("huge lookup without a 2MiB array must miss")
+	}
+	if ref.Repeat() {
+		t.Fatal("zero ref must keep missing, like Access")
+	}
+	// The always-miss path must not touch any counters, matching Access's
+	// early return.
+	acc, miss := tlb.Stats()
+	if acc != 0 || miss != 0 {
+		t.Fatalf("stats = %d/%d, want untouched (0/0)", acc, miss)
 	}
 }

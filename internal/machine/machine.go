@@ -15,6 +15,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/alloc"
 	"repro/internal/cache"
@@ -143,6 +144,11 @@ type Machine struct {
 	cfg RunConfig
 	rng *xrand.Rand
 
+	// Line geometry, precomputed from Spec.LineSize (a power of two) so the
+	// access path shifts instead of dividing.
+	lineSize  uint64
+	lineShift uint
+
 	llc []*cache.Cache
 
 	hwThreads int
@@ -205,6 +211,11 @@ func New(spec Spec) *Machine {
 		Mem:       vmm.New(spec.Topo, spec.MemPerNodeBytes),
 		hwThreads: spec.HardwareThreads(),
 	}
+	if spec.LineSize <= 0 || spec.LineSize&(spec.LineSize-1) != 0 {
+		panic(fmt.Sprintf("machine: LineSize %d is not a power of two", spec.LineSize))
+	}
+	m.lineSize = uint64(spec.LineSize)
+	m.lineShift = uint(bits.TrailingZeros64(m.lineSize))
 	m.llc = make([]*cache.Cache, spec.Topo.Nodes())
 	for i := range m.llc {
 		m.llc[i] = cache.New(spec.LLCBytesPerNode/spec.LineSize, 16)

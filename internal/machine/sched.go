@@ -61,6 +61,7 @@ func (m *Machine) Run(n int, body func(t *Thread)) Result {
 			resume: make(chan struct{}),
 			parked: make(chan struct{}),
 		}
+		t.node = m.nodeOf(t.hw)
 		m.hwLoad[t.hw]++
 		threads[i] = t
 		go func() {
@@ -157,6 +158,7 @@ func (m *Machine) migrateThread(t *Thread, newHW int) {
 	from := m.nodeOf(t.hw)
 	m.hwLoad[t.hw]--
 	t.hw = newHW
+	t.node = m.nodeOf(newHW)
 	m.hwLoad[newHW]++
 	t.l1.Flush()
 	t.tlb.Flush()

@@ -1,9 +1,11 @@
 package machine
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/vmm"
 )
 
@@ -147,6 +149,208 @@ func TestCountersResetBetweenPhases(t *testing.T) {
 	c := m.Counters()
 	if c.CacheAccesses != 0 || c.MinorFaults != 0 || c.ThreadMigrations != 0 {
 		t.Errorf("counters survived reset: %+v", c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-batched equivalence harness.
+//
+// refAccess is a line-for-line copy of the scalar access path as it stood
+// before the batched engine (per-line fault, TLB set scan, division-based
+// line tag, no caching between lines). The harness runs the same workload
+// through refAccess loops and through the batched Run/Strided APIs across
+// the full 15-config sweep and demands bit-identical results, counters,
+// cycle profiles and trace streams.
+
+// refAccess charges one scalar access the pre-batching way.
+func refAccess(t *Thread, addr, size uint64, write bool) {
+	if size == 0 {
+		return
+	}
+	m := t.m
+	line := uint64(m.Spec.LineSize)
+	last := (addr + size - 1) &^ (line - 1)
+	m.current = t
+	for a := addr &^ (line - 1); a <= last; a += line {
+		refAccessLine(t, a, write)
+	}
+	m.current = nil
+	t.maybeYield()
+}
+
+func refAccessLine(t *Thread, a uint64, write bool) {
+	m := t.m
+	p := &m.P
+	node := m.nodeOf(t.hw)
+	cost := 0.0
+	var faultC, walkC float64
+	vpn := a >> vmm.PageShift
+	f := m.Mem.Fault(a, node)
+	if f.Kind == vmm.MinorFault {
+		cost += p.MinorFaultCycles
+		faultC = p.MinorFaultCycles
+		if f.HugeMapped {
+			cost += p.THPFaultCycles
+			faultC += p.THPFaultCycles
+		}
+	}
+	if !t.tlb.Access(vpn, f.Huge) {
+		m.counters.TLBMisses++
+		if f.Huge {
+			cost += p.WalkHugeCycles
+			walkC = p.WalkHugeCycles
+		} else {
+			cost += p.WalkCycles
+			walkC = p.WalkCycles
+		}
+	}
+	lineTag := a / uint64(m.Spec.LineSize)
+	if t.l1.Access(lineTag) {
+		if write {
+			m.noteWriter(lineTag, node)
+		}
+		t.cycles += cost + p.L1HitCycles
+		if m.prof != nil {
+			m.prof.access(t.id, node, faultC, walkC, 0, BucketL1Hit, p.L1HitCycles)
+		}
+		return
+	}
+	cohC := m.coherencePenalty(lineTag, node, write)
+	cost += cohC
+	m.counters.CacheAccesses++
+	if m.llc[node].Access(lineTag) {
+		t.cycles += cost + p.LLCHitCycles
+		if m.prof != nil {
+			m.prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
+		}
+		return
+	}
+	m.counters.CacheMisses++
+	home := f.Node
+	dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
+	if home != node {
+		dram *= m.linkMult
+		m.counters.RemoteAccesses++
+	} else {
+		m.counters.LocalAccesses++
+	}
+	t.lastVPN = vpn
+	m.noteDRAM(home, t)
+	t.cycles += cost + dram
+	if m.prof != nil {
+		m.prof.access(t.id, node, faultC, walkC, cohC,
+			dramBucket(m.Spec.Topo.Hops(node, home)), dram)
+		m.prof.dram(node, home)
+	}
+}
+
+// accessOps abstracts how a workload body issues its accesses so the same
+// body can run through the reference scalar path and the batched engine.
+type accessOps struct {
+	read         func(t *Thread, addr, size uint64)
+	write        func(t *Thread, addr, size uint64)
+	readRun      func(t *Thread, addr, elem uint64, count int)
+	writeRun     func(t *Thread, addr, elem uint64, count int)
+	readStrided  func(t *Thread, addr, elem, stride uint64, count int)
+	writeStrided func(t *Thread, addr, elem, stride uint64, count int)
+}
+
+func scalarOps() accessOps {
+	loop := func(write bool) func(t *Thread, addr, elem, stride uint64, count int) {
+		return func(t *Thread, addr, elem, stride uint64, count int) {
+			for i := 0; i < count; i++ {
+				refAccess(t, addr+uint64(i)*stride, elem, write)
+			}
+		}
+	}
+	return accessOps{
+		read:  func(t *Thread, addr, size uint64) { refAccess(t, addr, size, false) },
+		write: func(t *Thread, addr, size uint64) { refAccess(t, addr, size, true) },
+		readRun: func(t *Thread, addr, elem uint64, count int) {
+			loop(false)(t, addr, elem, elem, count)
+		},
+		writeRun: func(t *Thread, addr, elem uint64, count int) {
+			loop(true)(t, addr, elem, elem, count)
+		},
+		readStrided:  loop(false),
+		writeStrided: loop(true),
+	}
+}
+
+func batchedOps() accessOps {
+	return accessOps{
+		read:         func(t *Thread, addr, size uint64) { t.Read(addr, size) },
+		write:        func(t *Thread, addr, size uint64) { t.Write(addr, size) },
+		readRun:      func(t *Thread, addr, elem uint64, count int) { t.ReadRun(addr, elem, count) },
+		writeRun:     func(t *Thread, addr, elem uint64, count int) { t.WriteRun(addr, elem, count) },
+		readStrided:  (*Thread).ReadStrided,
+		writeStrided: (*Thread).WriteStrided,
+	}
+}
+
+// equivBody exercises every access shape: dense store and load runs, page-
+// and sub-page strides, random scalar probes (pointer-chasing stand-in),
+// cross-thread sharing for coherence, allocation and pure-CPU work.
+func equivBody(ops accessOps, shared *uint64) func(*Thread) {
+	const bufBytes = 1 << 20
+	return func(t *Thread) {
+		if t.ID() == 0 {
+			*shared = t.Malloc(bufBytes)
+			ops.writeRun(t, *shared, 64, bufBytes/64)
+		}
+		base := t.Malloc(bufBytes)
+		ops.writeRun(t, base, 8, bufBytes/8)
+		ops.readRun(t, base, 64, bufBytes/64)
+		ops.readStrided(t, base, 8, 4096, bufBytes/4096)
+		ops.writeStrided(t, base, 16, 192, 1024)
+		rng := t.RNG()
+		for i := 0; i < 512; i++ {
+			off := rng.Uint64n(bufBytes/8) * 8
+			ops.read(t, base+off, 8)
+		}
+		t.Charge(3000)
+		if *shared != 0 {
+			ops.writeRun(t, *shared, 8, 2048)
+		}
+		t.Free(base, bufBytes)
+	}
+}
+
+// TestBatchedPathEquivalence is the old-vs-new harness: across the full
+// configuration sweep, the batched engine must reproduce the reference
+// scalar path bit for bit — results, counters, cycle attribution, and the
+// complete trace event stream.
+func TestBatchedPathEquivalence(t *testing.T) {
+	for _, tc := range profileConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(ops accessOps) (Result, *Profile, []trace.Event) {
+				m := tc.machine()
+				m.Configure(tc.cfg)
+				m.SetProfiling(true)
+				rec := trace.NewRecorder()
+				m.SetTrace(rec)
+				var shared uint64
+				res := m.Run(tc.threads, equivBody(ops, &shared))
+				return res, m.Profile(), rec.Events
+			}
+			sRes, sProf, sEvents := run(scalarOps())
+			bRes, bProf, bEvents := run(batchedOps())
+			if !reflect.DeepEqual(sRes, bRes) {
+				t.Errorf("results diverge:\nscalar:  %+v\nbatched: %+v", sRes, bRes)
+			}
+			if !reflect.DeepEqual(sProf, bProf) {
+				t.Error("cycle profiles diverge")
+			}
+			if len(sEvents) != len(bEvents) {
+				t.Fatalf("trace streams diverge: %d vs %d events", len(sEvents), len(bEvents))
+			}
+			for i := range sEvents {
+				if sEvents[i] != bEvents[i] {
+					t.Fatalf("trace event %d diverges:\nscalar:  %+v\nbatched: %+v",
+						i, sEvents[i], bEvents[i])
+				}
+			}
+		})
 	}
 }
 

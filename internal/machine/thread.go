@@ -13,9 +13,10 @@ import (
 // so a body needs no synchronization of Go state, but the virtual-time
 // interleaving is faithful to the quantum granularity.
 type Thread struct {
-	m  *Machine
-	id int
-	hw int // hardware context index
+	m    *Machine
+	id   int
+	hw   int             // hardware context index
+	node topology.NodeID // NUMA node of hw, kept in sync by the scheduler
 
 	l1  *cache.Cache
 	tlb *cache.TLB
@@ -36,7 +37,7 @@ type Thread struct {
 func (t *Thread) ID() int { return t.id }
 
 // Node returns the NUMA node the thread currently runs on.
-func (t *Thread) Node() topology.NodeID { return t.m.nodeOf(t.hw) }
+func (t *Thread) Node() topology.NodeID { return t.node }
 
 // RNG returns the thread's private deterministic random stream.
 func (t *Thread) RNG() *xrand.Rand { return t.rng }
@@ -57,7 +58,7 @@ func (t *Thread) stall(cycles float64) {
 func (t *Thread) Charge(cycles float64) {
 	t.cycles += cycles
 	if pr := t.m.prof; pr != nil {
-		pr.add(t.id, t.m.nodeOf(t.hw), BucketCompute, cycles)
+		pr.add(t.id, t.node, BucketCompute, cycles)
 	}
 	t.maybeYield()
 }
@@ -70,6 +71,43 @@ func (t *Thread) Read(addr, size uint64) { t.access(addr, size, false) }
 // caches) plus ownership tracking in the machine's last-writer directory,
 // so a later toucher on another node pays the cache-to-cache transfer.
 func (t *Thread) Write(addr, size uint64) { t.access(addr, size, true) }
+
+// ReadRun simulates count sequential loads of elem bytes each, laid out
+// back to back from addr. It is exactly equivalent to
+//
+//	for i := 0; i < count; i++ { t.Read(addr+uint64(i)*elem, elem) }
+//
+// — same charged cycles, counters, trace events and yield points — but
+// resolves the page fault once per page (or hugepage group) and the TLB
+// set scan once per translation instead of once per element, so dense
+// scans cost far less host time. Use it where the access pattern is a
+// run; pointer-chasing code keeps the scalar Read/Write.
+func (t *Thread) ReadRun(addr, elem uint64, count int) {
+	t.accessRun(addr, elem, elem, count, false)
+}
+
+// WriteRun is the store analogue of ReadRun.
+func (t *Thread) WriteRun(addr, elem uint64, count int) {
+	t.accessRun(addr, elem, elem, count, true)
+}
+
+// ReadStrided simulates count loads of elem bytes spaced stride bytes
+// apart, starting at addr: equivalent to
+//
+//	for i := 0; i < count; i++ { t.Read(addr+uint64(i)*stride, elem) }
+//
+// with the same batching as ReadRun. A strided run that revisits each
+// page many times (stride < page size) still collapses its translation
+// work; once stride exceeds the page size every element pays a fresh
+// lookup, exactly like the scalar loop.
+func (t *Thread) ReadStrided(addr, elem, stride uint64, count int) {
+	t.accessRun(addr, elem, stride, count, false)
+}
+
+// WriteStrided is the store analogue of ReadStrided.
+func (t *Thread) WriteStrided(addr, elem, stride uint64, count int) {
+	t.accessRun(addr, elem, stride, count, true)
+}
 
 // Malloc allocates size bytes through the machine's configured allocator,
 // charging the allocation cost to the thread.
@@ -110,55 +148,47 @@ func (t *Thread) profAllocCost(cost float64) {
 	if stall > cost {
 		stall = cost
 	}
-	node := t.m.nodeOf(t.hw)
-	pr.add(t.id, node, BucketAllocStall, stall)
-	pr.add(t.id, node, BucketAllocWork, cost-stall)
+	pr.add(t.id, t.node, BucketAllocStall, stall)
+	pr.add(t.id, t.node, BucketAllocWork, cost-stall)
 }
 
-// access charges one simulated memory access, line by line.
+// access charges one simulated memory access. Accesses confined to one
+// cache line — the common case for the scalar pointer-chasing kernels —
+// skip the run engine's batching state entirely.
 func (t *Thread) access(addr, size uint64, write bool) {
 	if size == 0 {
 		return
 	}
 	m := t.m
-	// Mark the acting thread so trace events emitted along the access path
-	// (faults, placements, coherence transfers) are stamped with its cycle
-	// account; cleared before yielding so daemon work is stamped on the
-	// global clock.
-	m.current = t
-	line := uint64(m.Spec.LineSize)
-	last := (addr + size - 1) &^ (line - 1)
-	for a := addr &^ (line - 1); ; a += line {
-		t.accessLine(a, write)
-		if a == last {
-			break
-		}
+	if addr&^(m.lineSize-1) != (addr+size-1)&^(m.lineSize-1) {
+		t.accessRun(addr, size, 0, 1, write)
+		return
 	}
+	m.current = t
+	t.accessLine(addr&^(m.lineSize-1), write)
 	m.current = nil
 	t.maybeYield()
 }
 
+// accessLine charges one line the scalar way: full fault resolution and
+// TLB lookup, no cached translation. Kept in lockstep with the line body
+// of accessRun (which adds the between-yield caching on top).
 func (t *Thread) accessLine(a uint64, write bool) {
 	m := t.m
 	p := &m.P
-	node := m.nodeOf(t.hw)
+	node := t.node
 	cost := 0.0
-	// Component costs mirror the additions into cost so the profiler can
-	// attribute them; the cost arithmetic itself is untouched, keeping
-	// profiled runs bit-identical to unprofiled ones.
 	var faultC, walkC float64
-
+	vpn := a >> vmm.PageShift
 	f := m.Mem.Fault(a, node)
 	if f.Kind == vmm.MinorFault {
 		cost += p.MinorFaultCycles
 		faultC = p.MinorFaultCycles
 		if f.HugeMapped {
-			// THP fault: one fault maps 2MiB, but zeroing it costs extra.
 			cost += p.THPFaultCycles
 			faultC += p.THPFaultCycles
 		}
 	}
-	vpn := a >> vmm.PageShift
 	if !t.tlb.Access(vpn, f.Huge) {
 		m.counters.TLBMisses++
 		if f.Huge {
@@ -169,27 +199,24 @@ func (t *Thread) accessLine(a uint64, write bool) {
 			walkC = p.WalkCycles
 		}
 	}
-	lineTag := a / uint64(m.Spec.LineSize)
+	lineTag := a >> m.lineShift
 	if t.l1.Access(lineTag) {
-		// L1 hit: the line is already owned or shared by this core.
 		if write {
 			m.noteWriter(lineTag, node)
 		}
 		t.cycles += cost + p.L1HitCycles
-		if m.prof != nil {
-			m.prof.access(t.id, node, faultC, walkC, 0, BucketL1Hit, p.L1HitCycles)
+		if prof := m.prof; prof != nil {
+			prof.access(t.id, node, faultC, walkC, 0, BucketL1Hit, p.L1HitCycles)
 		}
 		return
 	}
-	// Past L1, a line dirty in another node's cache costs a transfer.
 	cohC := m.coherencePenalty(lineTag, node, write)
 	cost += cohC
-	llc := m.llc[node]
 	m.counters.CacheAccesses++
-	if llc.Access(lineTag) {
+	if m.llc[node].Access(lineTag) {
 		t.cycles += cost + p.LLCHitCycles
-		if m.prof != nil {
-			m.prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
+		if prof := m.prof; prof != nil {
+			prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
 		}
 		return
 	}
@@ -205,9 +232,174 @@ func (t *Thread) accessLine(a uint64, write bool) {
 	t.lastVPN = vpn
 	m.noteDRAM(home, t)
 	t.cycles += cost + dram
-	if m.prof != nil {
-		m.prof.access(t.id, node, faultC, walkC, cohC,
+	if prof := m.prof; prof != nil {
+		prof.access(t.id, node, faultC, walkC, cohC,
 			dramBucket(m.Spec.Topo.Hops(node, home)), dram)
-		m.prof.dram(node, home)
+		prof.dram(node, home)
+	}
+}
+
+// accessRun is the memory-access engine behind Read/Write and the batched
+// Run/Strided variants: count elements of elem bytes, stride bytes apart,
+// each element one scalar access (line walk, then a yield check).
+//
+// The fast path caches the active translation between lines and elements:
+// the fault outcome for the current page (or 2MiB group) and the TLB entry
+// serving it. Both are guaranteed re-hits until the next yield — the
+// scheduler only runs daemons (page/thread migration, hugepage splits, TLB
+// flushes) between quanta — so the cache is dropped at every yield point
+// and the charged costs stay bit-identical to the uncached walk.
+func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
+	if elem == 0 || count <= 0 {
+		return
+	}
+	m := t.m
+	p := &m.P
+	lineMask := m.lineSize - 1
+	prof := m.prof
+	quantum := p.Quantum
+
+	// Translation cache, valid for vpns in [fLo, fHi] until the next yield.
+	var (
+		haveF    bool
+		f        vmm.Fault
+		fLo, fHi uint64
+		ref      cache.TLBRef
+	)
+	// Line cache: when elem < lineSize consecutive elements land on the
+	// same line, which is then a guaranteed L1 re-hit (it was touched by
+	// the previous element and nothing else operates on the private L1
+	// until the next yield).
+	var (
+		haveLine bool
+		lastTag  uint64
+		lastIdx  int
+	)
+
+	for i := 0; i < count; i++ {
+		a0 := addr + uint64(i)*stride
+		last := (a0 + elem - 1) &^ lineMask
+		// Mark the acting thread so trace events emitted along the access
+		// path (faults, placements, coherence transfers) are stamped with
+		// its cycle account; cleared before yielding so daemon work is
+		// stamped on the global clock.
+		m.current = t
+		for a := a0 &^ lineMask; ; a += m.lineSize {
+			node := t.node
+			cost := 0.0
+			// Component costs mirror the additions into cost so the
+			// profiler can attribute them; the cost arithmetic itself is
+			// untouched, keeping profiled runs bit-identical to unprofiled
+			// ones.
+			var faultC, walkC float64
+			vpn := a >> vmm.PageShift
+			if haveF && vpn >= fLo && vpn <= fHi {
+				// Cached translation: the page is mapped (fault hit) and
+				// the TLB entry was touched by the previous line, so the
+				// lookup re-hits — unless this is a huge translation with
+				// no 2MiB TLB array, where every line walks.
+				if !ref.Repeat() {
+					m.counters.TLBMisses++
+					cost += p.WalkHugeCycles
+					walkC = p.WalkHugeCycles
+				}
+			} else {
+				f = m.Mem.Fault(a, node)
+				if f.Kind == vmm.MinorFault {
+					cost += p.MinorFaultCycles
+					faultC = p.MinorFaultCycles
+					if f.HugeMapped {
+						// THP fault: one fault maps 2MiB, but zeroing it
+						// costs extra.
+						cost += p.THPFaultCycles
+						faultC += p.THPFaultCycles
+					}
+				}
+				var hit bool
+				hit, ref = t.tlb.AccessIndexed(vpn, f.Huge)
+				if !hit {
+					m.counters.TLBMisses++
+					if f.Huge {
+						cost += p.WalkHugeCycles
+						walkC = p.WalkHugeCycles
+					} else {
+						cost += p.WalkCycles
+						walkC = p.WalkCycles
+					}
+				}
+				haveF = true
+				if f.Huge {
+					fLo = vpn &^ uint64(vmm.PagesPerHuge-1)
+					fHi = fLo + vmm.PagesPerHuge - 1
+				} else {
+					fLo, fHi = vpn, vpn
+				}
+			}
+			lineTag := a >> m.lineShift
+			l1Hit := false
+			if haveLine && lineTag == lastTag {
+				t.l1.Repeat(lastIdx)
+				l1Hit = true
+			} else {
+				var idx int
+				l1Hit, idx = t.l1.AccessIndexed(lineTag)
+				haveLine, lastTag, lastIdx = true, lineTag, idx
+			}
+			if l1Hit {
+				// L1 hit: the line is already owned or shared by this core.
+				if write {
+					m.noteWriter(lineTag, node)
+				}
+				t.cycles += cost + p.L1HitCycles
+				if prof != nil {
+					prof.access(t.id, node, faultC, walkC, 0, BucketL1Hit, p.L1HitCycles)
+				}
+			} else {
+				// Past L1, a line dirty in another node's cache costs a
+				// transfer.
+				cohC := m.coherencePenalty(lineTag, node, write)
+				cost += cohC
+				m.counters.CacheAccesses++
+				if m.llc[node].Access(lineTag) {
+					t.cycles += cost + p.LLCHitCycles
+					if prof != nil {
+						prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
+					}
+				} else {
+					m.counters.CacheMisses++
+					home := f.Node
+					dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
+					if home != node {
+						dram *= m.linkMult
+						m.counters.RemoteAccesses++
+					} else {
+						m.counters.LocalAccesses++
+					}
+					t.lastVPN = vpn
+					m.noteDRAM(home, t)
+					t.cycles += cost + dram
+					if prof != nil {
+						prof.access(t.id, node, faultC, walkC, cohC,
+							dramBucket(m.Spec.Topo.Hops(node, home)), dram)
+						prof.dram(node, home)
+					}
+				}
+			}
+			if a == last {
+				break
+			}
+		}
+		m.current = nil
+		// Inline maybeYield. Yielding parks the thread, and the scheduler
+		// may run daemons (page migrations, hugepage splits/promotions, TLB
+		// flushes and shootdowns) or move the thread before resuming it —
+		// every cached handle is stale afterwards.
+		if t.cycles-t.sliceBase >= quantum {
+			t.sliceBase = t.cycles
+			t.parked <- struct{}{}
+			<-t.resume
+			haveF = false
+			haveLine = false
+		}
 	}
 }

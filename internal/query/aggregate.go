@@ -30,9 +30,7 @@ type Outcome struct {
 func LoadRecords(m *machine.Machine, recs []datagen.Record) (base uint64, cycles float64) {
 	res := m.Run(1, func(t *machine.Thread) {
 		base = t.Malloc(uint64(len(recs)) * recordBytes)
-		for i := range recs {
-			t.Write(base+uint64(i)*recordBytes, recordBytes)
-		}
+		t.WriteRun(base, recordBytes, len(recs))
 	})
 	return base, res.WallCycles
 }

@@ -188,9 +188,8 @@ func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
 				if e.Prof.Columnar {
 					base := t.Malloc(uint64(rows) * w)
 					tm.colBase[col] = base
-					for i := 0; i < rows; i += int(4096 / w) {
-						t.Write(base+uint64(i)*w, w) // touch each page
-					}
+					step := int(4096 / w) // touch each page
+					t.WriteStrided(base, w, uint64(step)*w, (rows+step-1)/step)
 				}
 			}
 			if !e.Prof.Columnar {
@@ -199,9 +198,8 @@ func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
 				if step < 1 {
 					step = 1
 				}
-				for i := 0; i < rows; i += step {
-					t.Write(tm.rowBase+uint64(i)*tm.rowWidth, tm.rowWidth)
-				}
+				t.WriteStrided(tm.rowBase, tm.rowWidth,
+					uint64(step)*tm.rowWidth, (rows+step-1)/step)
 			}
 			e.tables[name] = tm
 		}

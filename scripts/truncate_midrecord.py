@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Truncate a JSONL artifact mid-record, simulating a killed writer.
+
+Usage: truncate_midrecord.py file.jsonl [fraction]
+
+Cuts the file at `fraction` (default 0.6) of its actual size, adjusted to
+never land exactly on a record boundary: if the cut would fall right after
+a newline, it advances one byte into the next record. This replaces a
+hard-coded byte offset, which silently stopped cutting mid-record whenever
+record sizes drifted.
+"""
+import sys
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: truncate_midrecord.py file.jsonl [fraction]")
+    path = sys.argv[1]
+    fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.6
+    if not 0 < fraction < 1:
+        sys.exit("fraction must be in (0, 1)")
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < 2:
+        sys.exit(f"{path} too small to cut mid-record")
+    cut = max(1, int(len(data) * fraction))
+    if data[cut - 1] == ord("\n"):
+        cut += 1  # step past the boundary so the cut lands mid-record
+    cut = min(cut, len(data) - 1)
+    with open(path, "wb") as f:
+        f.write(data[:cut])
+    print(f"truncated {path} to {cut} of {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()
