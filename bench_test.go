@@ -223,6 +223,21 @@ func BenchmarkTable2_MachineSpecs(b *testing.B) {
 	}
 }
 
+// BenchmarkServe exercises the open-loop serving experiment: arrival
+// generation, the mixed-kernel service drain, the G/G/c queueing overlay
+// and the p999 tail attribution. Like BenchmarkAccessPathFig2Cal it
+// ignores REPRO_SCALE (fixed Tiny serving stream) so bench-gate runs are
+// comparable across hosts and baselines.
+func BenchmarkServe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Serve(experiments.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, i, r.RenderSummary(), r.RenderRegret())
+	}
+}
+
 // BenchmarkAccessPathFig2Cal is the end-to-end probe the CI bench gate
 // tracks alongside the internal/machine BenchmarkAccessPath suite: the
 // Figure 2 allocator microbenchmark at cal scale, whose runtime is

@@ -11,6 +11,7 @@
 //	numabench -experiment fig2 -scale tiny -json results.jsonl
 //	numabench -experiment fig5a -scale tiny -trace trace.json
 //	numabench -experiment profile -scale cal -breakdown -folded profile.folded
+//	numabench -experiment serve -scale cal -serve-requests 2000 -serve-util 0.8
 //	numabench -validate results.jsonl
 //	numabench -list
 //
@@ -28,6 +29,11 @@
 // seed at any -parallel setting, except the host_ns field of JSONL
 // records. -cpuprofile/-memprofile capture host pprof profiles of the
 // simulator itself.
+//
+// The serve experiment (open-loop serving with tail-latency SLOs) takes
+// two extra knobs: -serve-requests overrides the arrival stream length and
+// -serve-util the offered utilization its arrival rate targets (default
+// 0.7 of the calibrated per-worker service capacity).
 package main
 
 import (
@@ -68,6 +74,8 @@ func main() {
 		progress   = flag.Bool("progress", false, "report grid cell progress on stderr")
 		breakdown  = flag.Bool("breakdown", false, "attach the cycle profiler and print per-experiment component breakdowns")
 		foldedPath = flag.String("folded", "", "attach the cycle profiler and write folded stacks (speedscope-loadable) to this file")
+		serveReqs  = flag.Int("serve-requests", 0, "serve experiment: arrival stream length (0 = the scale's default)")
+		serveUtil  = flag.Float64("serve-util", 0, "serve experiment: offered utilization the arrival rate targets (0 = 0.7)")
 	)
 	var shared cli.Flags
 	shared.Register(flag.CommandLine)
@@ -135,6 +143,9 @@ func main() {
 	}
 	if *breakdown || *foldedPath != "" {
 		experiments.SetCellProfiling(true)
+	}
+	if *serveReqs > 0 || *serveUtil > 0 {
+		experiments.SetServeOptions(experiments.ServeOptions{Requests: *serveReqs, Util: *serveUtil})
 	}
 	var traced []report.TraceProcess
 	var folded []report.FoldedProfile

@@ -21,6 +21,10 @@
 // re-runs only the missing trials, and rewrites it — the resumed artifact
 // is byte-identical to an uninterrupted run. Unlike repro/bench/v2 there
 // is no host_ns field: every byte is deterministic for a fixed spec.
+//
+// -workload WS tunes the open-loop serving mix for p99 latency instead of
+// wall cycles: records carry objective=p99_latency and wall_cycles holds
+// the trial's p99 in cycles.
 package main
 
 import (
@@ -50,7 +54,7 @@ func usageErr(msg string) {
 func main() {
 	var (
 		strategy = flag.String("strategy", "sha", "campaign strategy: grid, descent or sha")
-		workload = flag.String("workload", "W1", "workload id: W1 or W3")
+		workload = flag.String("workload", "W1", "workload id: W1, W3, or WS (open-loop serving, minimizes p99 latency)")
 		mc       = flag.String("machine", "A", "simulated machine: A, B or C")
 		scale    = flag.String("scale", "cal", "dataset scale: tiny, small, cal or default")
 		threads  = flag.Int("threads", 0, "worker threads per trial (0 = the machine's hardware threads)")

@@ -80,6 +80,13 @@ func WorkloadTraits(workload string) (Traits, error) {
 		return Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true}, nil
 	case "W3":
 		return Traits{SuperuserAccess: true, AllocationHeavy: true}, nil
+	case "WS":
+		// The open-loop serving mix: its cycle budget is dominated by the
+		// aggregation windows (bandwidth-bound streaming scans) and the
+		// join kernels allocate per request, so the flowchart sees it as
+		// W1-like. The serve experiment's regret table tests whether this
+		// throughput-derived advice also minimizes p999 latency.
+		return Traits{MemoryBandwidthBound: true, SuperuserAccess: true, AllocationHeavy: true}, nil
 	}
 	return Traits{}, fmt.Errorf("core: no canonical traits for workload %q", workload)
 }

@@ -207,6 +207,112 @@ func TestProfileDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// serveArtifacts runs the serve driver and returns its JSONL stream
+// (host_ns normalized) plus the rendered latency tables — every byte the
+// acceptance criteria require to be reproducible.
+func serveArtifacts(t *testing.T) (jsonl []byte, tables string) {
+	t.Helper()
+	resetCaches()
+	d, err := Lookup("serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Records {
+		res.Records[i].HostNS = 0 // the one nondeterministic field
+	}
+	var jb bytes.Buffer
+	if err := WriteJSONL(&jb, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range res.Tables {
+		tab.Render(&sb)
+		tab.RenderCSV(&sb)
+	}
+	return jb.Bytes(), sb.String()
+}
+
+// TestServeDeterministicUnderParallelism extends the byte-identity
+// guarantee to the serving artifacts: the serve experiment's JSONL records
+// (host_ns normalized) and its latency/SLO/tail tables must match across
+// serial, four workers, and a repeated parallel run.
+func TestServeDeterministicUnderParallelism(t *testing.T) {
+	defer SetRunner(core.Runner{})
+
+	SetRunner(core.Runner{Workers: 1})
+	jsonlSerial, tablesSerial := serveArtifacts(t)
+	if len(jsonlSerial) == 0 || len(tablesSerial) == 0 {
+		t.Fatal("empty serve artifacts")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	jsonlPar, tablesPar := serveArtifacts(t)
+	if !bytes.Equal(jsonlSerial, jsonlPar) {
+		t.Error("serve JSONL differs between serial and parallel-4 runs")
+	}
+	if tablesSerial != tablesPar {
+		t.Error("serve tables differ between serial and parallel-4 runs")
+	}
+
+	SetRunner(core.Runner{Workers: 4})
+	jsonlAgain, tablesAgain := serveArtifacts(t)
+	if !bytes.Equal(jsonlPar, jsonlAgain) {
+		t.Error("serve JSONL differs between two parallel-4 runs")
+	}
+	if tablesPar != tablesAgain {
+		t.Error("serve tables differ between two parallel-4 runs")
+	}
+}
+
+// TestServeAttributesTail pins the tentpole's attribution requirement:
+// a Tiny serve run must attribute its p999 requests to profile buckets
+// and report the campaign's regret row.
+func TestServeAttributesTail(t *testing.T) {
+	SetRunner(core.Runner{Workers: 0})
+	defer SetRunner(core.Runner{})
+	resetCaches()
+	r, err := Serve(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 4 {
+		t.Fatalf("got %d serving cells, want 4", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.Out.Metrics.Requests == 0 {
+			t.Errorf("%s: no measured requests", c.Name)
+		}
+		if len(c.Out.Tail.Buckets) == 0 {
+			t.Errorf("%s: p999 tail not attributed to any profile bucket", c.Name)
+		}
+		if c.Out.Tail.Count == 0 {
+			t.Errorf("%s: empty p999 tail set", c.Name)
+		}
+	}
+	if r.Regret.AdvisedKey == "" || r.Regret.BestKey == "" || r.Regret.BestP99 <= 0 {
+		t.Errorf("regret row incomplete: %+v", r.Regret)
+	}
+	if r.Regret.Objective != "p99_latency" {
+		t.Errorf("regret objective %q", r.Regret.Objective)
+	}
+	// The campaign's records must carry the objective label so artifacts
+	// say what was optimized.
+	labeled := false
+	for _, rec := range r.Records {
+		if rec.Labels["objective"] == "p99_latency" {
+			labeled = true
+			break
+		}
+	}
+	if !labeled {
+		t.Error("no campaign record carries the objective label")
+	}
+}
+
 // TestReadJSONLAcceptsV1 pins backward compatibility: records written
 // under the v1 schema (no breakdown/profile fields) still validate.
 func TestReadJSONLAcceptsV1(t *testing.T) {
@@ -337,6 +443,7 @@ func TestRegistryCoversRenderables(t *testing.T) {
 		"preferred":    1,
 		"profile":      5, // Table III extended + breakdown + 3 matrices
 		"tune":         4, // strategies + top-k + marginals + regret
+		"serve":        4, // summary + histogram + tail attribution + regret
 	}
 	for id, n := range want {
 		d, err := Lookup(id)

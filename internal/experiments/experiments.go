@@ -38,6 +38,7 @@ type Scale struct {
 	TPCHSF         float64 // TPC-H scale factor (paper: 20)
 	WarmRuns       int     // W5 warm runs per query (paper: 5)
 	Fig3Runs       int     // consecutive runs in Figure 3 (paper: 10)
+	ServeRequests  int     // open-loop serving stream length (extension)
 }
 
 // Tiny is for unit tests: everything finishes in milliseconds.
@@ -49,6 +50,7 @@ var Tiny = Scale{
 	TPCHSF:         0.001,
 	WarmRuns:       1,
 	Fig3Runs:       4,
+	ServeRequests:  240,
 }
 
 // Small runs each driver in a few seconds; used by quick benchmarks.
@@ -60,6 +62,7 @@ var Small = Scale{
 	TPCHSF:         0.004,
 	WarmRuns:       2,
 	Fig3Runs:       10,
+	ServeRequests:  1_200,
 }
 
 // Cal is the reproduction scale used for EXPERIMENTS.md: large enough
@@ -75,6 +78,7 @@ var Cal = Scale{
 	TPCHSF:         0.005,
 	WarmRuns:       2,
 	Fig3Runs:       10,
+	ServeRequests:  4_000,
 }
 
 // Default is the full simulator scale used for EXPERIMENTS.md.
@@ -86,6 +90,7 @@ var Default = Scale{
 	TPCHSF:         0.01,
 	WarmRuns:       2,
 	Fig3Runs:       10,
+	ServeRequests:  8_000,
 }
 
 // machineFor builds a fresh machine by letter (A, B, C). When cell

@@ -242,6 +242,19 @@ func buildRegistry() map[string]Descriptor {
 			},
 		},
 		{
+			Id: "serve", Title: "Open-loop serving: tail latency, SLO attainment and p999 attribution",
+			Artifact: "extension", DefaultScale: "cal",
+			run: func(s Scale) (*Result, error) {
+				r, err := Serve(s)
+				if err != nil {
+					return nil, err
+				}
+				tables := []*report.Table{r.RenderSummary(), r.RenderHistogram(),
+					r.RenderTail(), r.RenderRegret()}
+				return &Result{Tables: tables, Records: r.Records}, nil
+			},
+		},
+		{
 			Id: "ablation", Title: "Cost-model ablations of the headline default-vs-tuned gain",
 			Artifact: "extension", DefaultScale: "cal",
 			run: func(s Scale) (*Result, error) {

@@ -146,17 +146,21 @@ func tuneRecords(res *tune.Result) ([]Record, error) {
 	recs := make([]Record, 0, len(res.Records))
 	for i := range res.Records {
 		tr := res.Records[i]
+		labels := map[string]string{
+			"strategy": tr.Strategy,
+			"workload": tr.Workload,
+			"machine":  tr.Machine,
+			"key":      tr.Key,
+			"rung":     strconv.Itoa(tr.Rung),
+			"frac":     strconv.FormatFloat(tr.Frac, 'g', -1, 64),
+		}
+		if tr.Objective != "" {
+			labels["objective"] = tr.Objective
+		}
 		recs = append(recs, Record{
-			Schema: SchemaVersion,
-			Cell:   fmt.Sprintf("%s#%03d", tr.Campaign, tr.Trial),
-			Labels: map[string]string{
-				"strategy": tr.Strategy,
-				"workload": tr.Workload,
-				"machine":  tr.Machine,
-				"key":      tr.Key,
-				"rung":     strconv.Itoa(tr.Rung),
-				"frac":     strconv.FormatFloat(tr.Frac, 'g', -1, 64),
-			},
+			Schema:  SchemaVersion,
+			Cell:    fmt.Sprintf("%s#%03d", tr.Campaign, tr.Trial),
+			Labels:  labels,
 			Machine: m.Spec.Name,
 			Config: CellConfig{
 				Threads:   tr.Threads,

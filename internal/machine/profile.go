@@ -334,6 +334,23 @@ func (m *Machine) Profile() *Profile {
 	return m.prof.snapshot()
 }
 
+// ThreadBuckets returns a copy of one thread's accumulated per-bucket
+// cycles (indexed by the Bucket constants), nil when profiling is off.
+// Unlike Profile it does not materialize node breakdowns or the access
+// matrix, so callers can difference it around short work windows (e.g. one
+// served request) cheaply. A thread that has not charged anything yet reads
+// as all zeros; the call never mutates the profiler.
+func (m *Machine) ThreadBuckets(id int) []float64 {
+	if m.prof == nil {
+		return nil
+	}
+	out := make([]float64, NumBuckets)
+	if id >= 0 && id < len(m.prof.threads) {
+		copy(out, m.prof.threads[id].buckets[:])
+	}
+	return out
+}
+
 // ResetProfile zeroes the accumulated attribution (between workload
 // phases), keeping profiling on. No-op when profiling is off.
 func (m *Machine) ResetProfile() {

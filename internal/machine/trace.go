@@ -79,20 +79,26 @@ func (m *Machine) wireAllocHooks() {
 const maxSnapshots = 64
 
 // StartSnapshots enables periodic counter snapshots every `every` simulated
-// cycles, clearing any previous series. Samples are taken at scheduling
-// points (between thread quanta), so each carries the counter state at the
-// first scheduling event at or after its stamp.
+// cycles, starting a fresh series. Samples are taken at scheduling points
+// (between thread quanta), so each carries the counter state at the first
+// scheduling event at or after its stamp. The new series gets its own
+// backing storage: a slice previously obtained from Snapshots stays valid
+// across a restart (phase rescoping, back-to-back serving phases).
 func (m *Machine) StartSnapshots(every float64) {
 	if every <= 0 {
 		every = 1e8
 	}
 	m.snapEvery = every
 	m.nextSnap = m.clock + every
-	m.snaps = m.snaps[:0]
+	m.snaps = nil
 }
 
-// Snapshots returns the samples taken since StartSnapshots.
-func (m *Machine) Snapshots() []Snapshot { return m.snaps }
+// Snapshots returns a copy of the samples taken since StartSnapshots.
+// Callers own the returned slice: neither further sampling nor a snapshot
+// restart mutates it, and mutating it does not perturb the machine.
+func (m *Machine) Snapshots() []Snapshot {
+	return append([]Snapshot(nil), m.snaps...)
+}
 
 // pumpSnapshots takes due samples; the scheduler calls it between quanta.
 func (m *Machine) pumpSnapshots() {
@@ -103,8 +109,13 @@ func (m *Machine) pumpSnapshots() {
 		m.snaps = append(m.snaps, Snapshot{Cycle: m.nextSnap, Counters: m.Counters()})
 		m.nextSnap += m.snapEvery
 		if len(m.snaps) >= maxSnapshots {
+			// Thin by keeping the EVEN indices: the first stamp of the
+			// series (the first cadence tick) survives every round, and the
+			// kept stamps stay uniformly spaced at the doubled cadence, so
+			// re-anchoring off the last kept stamp continues the arithmetic
+			// sequence without a gap or overlap.
 			kept := m.snaps[:0]
-			for i := 1; i < len(m.snaps); i += 2 {
+			for i := 0; i < len(m.snaps); i += 2 {
 				kept = append(kept, m.snaps[i])
 			}
 			m.snaps = kept

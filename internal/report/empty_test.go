@@ -1,0 +1,125 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// These tests audit every rendering surface on empty inputs — the serving
+// edge cases (a warmup-only phase completes zero requests; an untraced
+// cell has an empty event stream) must yield valid, stable artifacts, not
+// degenerate output.
+
+// renderAllFormats exercises the three table encoders and returns the text
+// rendering; it fails the test on an encoder error or empty output.
+func renderAllFormats(t *testing.T, tab *Table) string {
+	t.Helper()
+	if tab == nil {
+		t.Fatal("nil table")
+	}
+	var txt, csv, js bytes.Buffer
+	tab.Render(&txt)
+	tab.RenderCSV(&csv)
+	if err := tab.RenderJSON(&js); err != nil {
+		t.Fatalf("RenderJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("RenderJSON emitted invalid JSON: %v", err)
+	}
+	if txt.Len() == 0 || csv.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+	return txt.String()
+}
+
+// TestTraceTablesEmptyInput checks the trace tables on a nil event stream:
+// header-only tables that render in every format.
+func TestTraceTablesEmptyInput(t *testing.T) {
+	for _, tab := range []*Table{TraceSummary(nil), TraceCostHistogram(nil)} {
+		if len(tab.Rows) != 0 {
+			t.Errorf("%q: %d rows from an empty stream", tab.Title, len(tab.Rows))
+		}
+		out := renderAllFormats(t, tab)
+		if !strings.Contains(out, "==") {
+			t.Errorf("%q: missing title banner:\n%s", tab.Title, out)
+		}
+	}
+}
+
+// TestChromeTraceEmptyInput checks the Chrome exporter stays a valid JSON
+// array with no processes, and with processes that carry no events.
+func TestChromeTraceEmptyInput(t *testing.T) {
+	var noProcs bytes.Buffer
+	if err := ChromeTrace(&noProcs); err != nil {
+		t.Fatal(err)
+	}
+	var arr []any
+	if err := json.Unmarshal(noProcs.Bytes(), &arr); err != nil {
+		t.Fatalf("no-process export is not valid JSON: %v\n%s", err, noProcs.String())
+	}
+	if len(arr) != 0 {
+		t.Errorf("no-process export has %d entries", len(arr))
+	}
+
+	var emptyProc bytes.Buffer
+	err := ChromeTrace(&emptyProc, TraceProcess{Name: "cell", FreqGHz: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(emptyProc.Bytes(), &arr); err != nil {
+		t.Fatalf("zero-event process export is not valid JSON: %v", err)
+	}
+	if len(arr) != 1 {
+		t.Fatalf("zero-event process: %d entries, want 1 (process_name metadata)", len(arr))
+	}
+	meta, ok := arr[0].(map[string]any)
+	if !ok || meta["name"] != "process_name" {
+		t.Errorf("sole entry is not the process_name record: %v", arr[0])
+	}
+}
+
+// TestServeTablesEmptyInput checks the serving tables with no rows and
+// with the all-zero rows a warmup-only phase produces: no NaN, no panic,
+// valid output in every format.
+func TestServeTablesEmptyInput(t *testing.T) {
+	renderAllFormats(t, LatencySummaryTable("empty", []string{"5x"}, nil))
+	renderAllFormats(t, LatencyHistogramTable("empty", nil))
+	renderAllFormats(t, TailAttributionTable("empty", nil))
+	renderAllFormats(t, LatencyRegretTable("empty", nil))
+
+	// A warmup-only cell: zero requests, zero percentiles, missing SLO
+	// attainments (fewer than the labels) render as "-", never NaN.
+	zero := LatencySummaryTable("warmup-only", []string{"5x", "20x"},
+		[]LatencyRow{{Cell: "default/poisson", Arrival: "poisson"}})
+	out := renderAllFormats(t, zero)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("zero row rendered NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing SLO attainment not rendered as '-':\n%s", out)
+	}
+
+	// A regret row against a zero optimum must not divide by zero.
+	if r := (ServeRegretRow{AdvisedP99: 100}).Regret(); r != 0 {
+		t.Errorf("zero-optimum regret = %v, want 0", r)
+	}
+	if r := (RegretRow{AdvisedCycles: 100}).Regret(); r != 0 {
+		t.Errorf("zero-optimum flowchart regret = %v, want 0", r)
+	}
+}
+
+// TestTraceSummaryIgnoresUnknownKinds ensures a stream containing a kind
+// outside the table's fixed arrays is dropped, not an index panic.
+func TestTraceSummaryIgnoresUnknownKinds(t *testing.T) {
+	evs := []trace.Event{{Kind: trace.Kind(200), Cost: 5}}
+	tab := TraceSummary(evs)
+	if len(tab.Rows) != 0 {
+		t.Errorf("unknown kind produced rows: %v", tab.Rows)
+	}
+	renderAllFormats(t, tab)
+}

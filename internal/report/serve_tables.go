@@ -1,0 +1,135 @@
+package report
+
+import "fmt"
+
+// This file renders the open-loop serving surfaces: per-cell latency
+// summaries with SLO attainment, latency histograms, and the p999 tail
+// attribution. Row structs are plain data so internal/serve and the
+// experiment driver can feed them without this package knowing about
+// either.
+
+// Cycles formats a raw cycle quantity (latencies live in the 1e3..1e7
+// range, far below the Billions scale used for wall times).
+func Cycles(c float64) string { return fmt.Sprintf("%.0f", c) }
+
+// LatencyRow is one serving cell's latency summary.
+type LatencyRow struct {
+	Cell        string
+	Arrival     string
+	Requests    int
+	MeanService float64
+	MeanLatency float64
+	P50         float64
+	P99         float64
+	P999        float64
+	// SLO attainment fractions, aligned with the table's SLO labels.
+	SLOs []float64
+}
+
+// LatencySummaryTable renders per-cell percentiles and SLO attainment.
+// sloLabels names the targets (e.g. "5x", "20x", "100x" of the calibrated
+// mean service time); every row must carry len(sloLabels) attainments.
+func LatencySummaryTable(title string, sloLabels []string, rows []LatencyRow) *Table {
+	hdr := []string{"cell", "arrival", "requests", "mean svc", "mean lat", "p50", "p99", "p999"}
+	for _, l := range sloLabels {
+		hdr = append(hdr, "slo "+l)
+	}
+	t := &Table{Title: title, Header: hdr}
+	for _, r := range rows {
+		cells := []any{r.Cell, r.Arrival, r.Requests, Cycles(r.MeanService),
+			Cycles(r.MeanLatency), Cycles(r.P50), Cycles(r.P99), Cycles(r.P999)}
+		for i := range sloLabels {
+			if i < len(r.SLOs) {
+				cells = append(cells, Pct(r.SLOs[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// LatencyHistRow is one power-of-two latency bucket of one cell.
+type LatencyHistRow struct {
+	Cell   string
+	Lo, Hi float64
+	Count  int
+	Share  float64 // fraction of the cell's measured requests
+}
+
+// LatencyHistogramTable renders the log2 latency distribution per cell.
+func LatencyHistogramTable(title string, rows []LatencyHistRow) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"cell", "latency bucket (cycles)", "requests", "share"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Cell, fmt.Sprintf("[%.0f, %.0f)", r.Lo, r.Hi), r.Count, Pct(r.Share))
+	}
+	return t
+}
+
+// TailRow is one attribution component of one cell: a metric over all
+// measured requests versus over the p999 tail alone. Components cover the
+// profile buckets (share of service cycles), the queueing share of
+// latency, and per-request trace-event rates.
+type TailRow struct {
+	Cell      string
+	Component string
+	All       float64
+	Tail      float64
+}
+
+// TailAttributionTable renders the all-vs-tail comparison. The delta
+// column (tail - all, in points of the metric) is the signal: components
+// over-represented in the tail explain it.
+func TailAttributionTable(title string, rows []TailRow) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"cell", "component", "all requests", "p999 tail", "delta"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Cell, r.Component, fmt.Sprintf("%.4f", r.All),
+			fmt.Sprintf("%.4f", r.Tail), fmt.Sprintf("%+.4f", r.Tail-r.All))
+	}
+	return t
+}
+
+// ServeRegretRow is one cell of the latency-flowchart validation: the
+// p99 achieved by the throughput-derived advice versus the latency
+// campaign's optimum.
+type ServeRegretRow struct {
+	Machine    string
+	Workload   string
+	Objective  string
+	AdvisedKey string
+	AdvisedP99 float64
+	BestKey    string
+	BestP99    float64
+}
+
+// Regret is the relative p99 penalty of following the flowchart instead
+// of the latency-tuned optimum.
+func (r ServeRegretRow) Regret() float64 {
+	if r.BestP99 == 0 {
+		return 0
+	}
+	return (r.AdvisedP99 - r.BestP99) / r.BestP99
+}
+
+// LatencyRegretTable mirrors FlowchartRegretTable for latency objectives,
+// formatting the objective in raw cycles (p99 values sit orders of
+// magnitude below the Billions scale wall times use).
+func LatencyRegretTable(title string, rows []ServeRegretRow) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"machine", "workload", "objective", "advised configuration",
+			"advised", "optimum configuration", "optimum", "regret"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Machine, r.Workload, r.Objective, r.AdvisedKey, Cycles(r.AdvisedP99),
+			r.BestKey, Cycles(r.BestP99), Pct(r.Regret()))
+	}
+	return t
+}

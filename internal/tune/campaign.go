@@ -35,7 +35,7 @@ const descentMaxPasses = 8
 type Spec struct {
 	Strategy string
 	Space    Space
-	Workload string // "W1" or "W3"
+	Workload string // "W1", "W3" or "WS"
 	Machine  string // "A", "B" or "C"
 	Threads  int    // 0 = the machine's hardware threads
 	Seed     uint64 // trial RNG seed; 0 = 1
@@ -150,16 +150,17 @@ func BestFull(recs []Record) *Record {
 
 // campaign is the in-flight state shared by the strategies.
 type campaign struct {
-	spec     Spec
-	runner   core.Runner
-	prior    map[TrialKey]Record
-	byKey    map[TrialKey]Record // trials already in this campaign's schedule
-	records  []Record
-	spent    float64
-	reused   int
-	newRuns  int
-	sink     SinkFunc
-	progress ProgressFunc
+	spec      Spec
+	objective string // the workload's objective label, "" for wall cycles
+	runner    core.Runner
+	prior     map[TrialKey]Record
+	byKey     map[TrialKey]Record // trials already in this campaign's schedule
+	records   []Record
+	spent     float64
+	reused    int
+	newRuns   int
+	sink      SinkFunc
+	progress  ProgressFunc
 }
 
 // Run executes a campaign. prior is the checkpoint to resume from
@@ -173,13 +174,18 @@ func Run(spec Spec, runner core.Runner, prior []Record, sink SinkFunc, progress 
 	if err != nil {
 		return nil, err
 	}
+	wl, err := WorkloadByID(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
 	c := &campaign{
-		spec:     spec,
-		runner:   runner,
-		prior:    make(map[TrialKey]Record, len(prior)),
-		byKey:    make(map[TrialKey]Record),
-		sink:     sink,
-		progress: progress,
+		spec:      spec,
+		objective: wl.Objective,
+		runner:    runner,
+		prior:     make(map[TrialKey]Record, len(prior)),
+		byKey:     make(map[TrialKey]Record),
+		sink:      sink,
+		progress:  progress,
 	}
 	for _, r := range prior {
 		k, err := r.trialKey()
@@ -305,6 +311,7 @@ func (c *campaign) measure(points []Point, frac float64, rung int) ([]TrialResul
 			rec.Schema = SchemaVersion
 			rec.Campaign = c.spec.ID()
 			rec.Strategy = c.spec.Strategy
+			rec.Objective = c.objective
 			rec.Trial = len(c.records)
 			rec.Rung = rung
 			rec.Frac = frac

@@ -23,8 +23,12 @@ import (
 //	trial       number  schedule index within the campaign, 0-based
 //	rung        number  successive-halving rung, 0 elsewhere
 //	frac        number  dataset fraction of this trial (1 = full size)
-//	workload    string  workload id ("W1", "W3")
+//	workload    string  workload id ("W1", "W3", "WS")
 //	machine     string  simulated machine letter ("A", "B", "C")
+//	objective   string  what wall_cycles holds when not wall time: WS
+//	                    campaigns record "p99_latency" (cycles); omitted
+//	                    for the throughput workloads, so their artifacts
+//	                    are byte-identical to pre-objective ones
 //	key         string  the point's canonical identity (Point.Key)
 //	point       object  the knob values: placement, policy, allocator,
 //	                    autonuma, thp (strings; booleans as on/off)
@@ -32,7 +36,9 @@ import (
 //	seed        number  the trial's RNG seed
 //	size        object  workload sizing after the fraction was applied:
 //	                    agg_records, agg_cardinality, join_r
-//	wall_cycles number  simulated wall time of the trial, cycles
+//	wall_cycles number  the trial's measured objective: simulated wall
+//	                    time in cycles, or the objective's value when the
+//	                    objective field is present
 //	lar         number  local access ratio of the measured phase
 //	counters    object  the perf-counter profile (see machine.Counters)
 //	breakdown   object  cycle attribution, bucket name -> cycles
@@ -79,6 +85,7 @@ type Record struct {
 	Frac       float64            `json:"frac"`
 	Workload   string             `json:"workload"`
 	Machine    string             `json:"machine"`
+	Objective  string             `json:"objective,omitempty"`
 	Key        string             `json:"key"`
 	Point      PointJSON          `json:"point"`
 	Threads    int                `json:"threads"`

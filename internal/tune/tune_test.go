@@ -135,8 +135,11 @@ func TestWorkloadAndMachineLookup(t *testing.T) {
 	if _, err := MachineFor("Z"); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if got := WorkloadIDs(); len(got) != 2 || got[0] != "W1" || got[1] != "W3" {
+	if got := WorkloadIDs(); len(got) != 3 || got[0] != "W1" || got[1] != "W3" || got[2] != "WS" {
 		t.Errorf("WorkloadIDs() = %v", got)
+	}
+	if ws, err := WorkloadByID("WS"); err != nil || ws.Objective != "p99_latency" {
+		t.Errorf("WS = %+v, %v; want p99_latency objective", ws, err)
 	}
 	for _, id := range WorkloadIDs() {
 		if _, err := core.WorkloadTraits(id); err != nil {

@@ -26,7 +26,10 @@ Gated ratios (each "X_vs_scalar" is ns/op of X over ns/op of scalar/plain):
   traced_overhead_{scalar,batched}, profiled_overhead_{scalar,batched} —
   observation hooks must stay hoisted out of the inner loop;
   fig2_cal_vs_scalar — end-to-end probe: fig2-cal wall seconds divided by
-  scalar ns/op, i.e. the experiment's cost in equivalent scalar accesses.
+  scalar ns/op, i.e. the experiment's cost in equivalent scalar accesses;
+  serve_vs_scalar — end-to-end probe of the open-loop serving experiment
+  (fixed Tiny stream), normalized the same way. Present only when the
+  bench output includes BenchmarkServe.
 """
 import argparse
 import json
@@ -77,6 +80,10 @@ def ratios(ns, fig2_seconds):
     }
     if "BenchmarkAccessPathWriteRun" in ns:
         r["writerun_vs_scalar"] = ns["BenchmarkAccessPathWriteRun"] / scalar
+    if "BenchmarkServe" in ns:
+        # The serving probe runs a fixed Tiny stream, so its ns/op over the
+        # scalar path is a machine-independent end-to-end serving cost.
+        r["serve_vs_scalar"] = ns["BenchmarkServe"] / scalar
     if fig2_seconds is not None:
         # Seconds -> ns, over ns per scalar access: the probe's cost in
         # units of "scalar accesses", which transfers across machines.

@@ -11,6 +11,12 @@ Accepts two record layouts, distinguished by each record's schema field:
 - repro/tune/v1 (numatune campaign trials): grouped per campaign as
   trials run, simulated-cycle budget spent, and the best full-fraction
   configuration found. Campaign records carry no host_ns by design.
+  Latency campaigns (objective=p99_latency, the WS workload) additionally
+  report the objective: their wall_cycles hold p99 cycles, not wall time.
+
+Serving cells (the serve experiment's latency records, recognized by a
+p999 key in extra) additionally summarize per cell: latency percentiles,
+SLO attainment and throughput, under a top-level "serving" key.
 
 CI regenerates this as BENCH_ci.json; the committed BENCH_pr4.json is one
 run over the PR's cal-scale fig2+profile sweep plus an sha tuning
@@ -25,6 +31,7 @@ def main():
         sys.exit("usage: bench_summary.py results.jsonl [more.jsonl ...]")
     experiments = {}
     campaigns = {}
+    serving = {}
     for path in sys.argv[1:]:
         with open(path) as f:
             for line in f:
@@ -41,6 +48,8 @@ def main():
                     })
                     c["trials"] += 1
                     c["sim_cycles_spent"] += rec["wall_cycles"]
+                    if rec.get("objective"):
+                        c["objective"] = rec["objective"]
                     if rec.get("frac", 1) == 1 and (
                             c["best_cycles"] is None
                             or rec["wall_cycles"] < c["best_cycles"]):
@@ -55,6 +64,21 @@ def main():
                     e["records"] += 1
                     e["host_seconds"] += rec["host_ns"] / 1e9
                     e["sim_wall_cycles"] += rec["wall_cycles"]
+                    extra = rec.get("extra") or {}
+                    if "p999" in extra:
+                        cell = f'{rec["experiment"]}/{rec["cell"]}'
+                        serving[cell] = {
+                            "requests": extra.get("requests"),
+                            "mean_latency": extra.get("mean_latency"),
+                            "p50": extra.get("p50"),
+                            "p99": extra.get("p99"),
+                            "p999": extra.get("p999"),
+                            "throughput_per_bcycles": extra.get("rpbc"),
+                            "slo_attainment": {
+                                k[len("slo_"):]: v for k, v in sorted(extra.items())
+                                if k.startswith("slo_")
+                            },
+                        }
     for e in experiments.values():
         e["host_seconds"] = round(e["host_seconds"], 3)
     out = {
@@ -63,6 +87,8 @@ def main():
     }
     if campaigns:
         out["campaigns"] = {k: campaigns[k] for k in sorted(campaigns)}
+    if serving:
+        out["serving"] = {k: serving[k] for k in sorted(serving)}
     json.dump(out, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
 
