@@ -230,11 +230,32 @@ func BenchmarkTable2_MachineSpecs(b *testing.B) {
 // comparable across hosts and baselines.
 func BenchmarkServe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Serve(experiments.Tiny)
+		r, err := experiments.Serve(experiments.Tiny, experiments.ServeOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		logTables(b, i, r.RenderSummary(), r.RenderRegret())
+	}
+}
+
+// BenchmarkOrchestratorOverhead measures the placement orchestrator's
+// fixed cost: the adapt experiment's Machine A steady cell with the
+// daemon attached (on) and without (off). The workload has a static
+// optimum, so the attached orchestrator observes and plans every tick but
+// never acts — the on/off ratio the bench gate tracks is pure overhead.
+// Fixed partition size (ignores REPRO_SCALE) so gate runs are comparable.
+func BenchmarkOrchestratorOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := experiments.AdaptOverheadProbe(mode.on); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

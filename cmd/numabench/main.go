@@ -30,10 +30,13 @@
 // records. -cpuprofile/-memprofile capture host pprof profiles of the
 // simulator itself.
 //
-// The serve experiment (open-loop serving with tail-latency SLOs) takes
-// two extra knobs: -serve-requests overrides the arrival stream length and
-// -serve-util the offered utilization its arrival rate targets (default
-// 0.7 of the calibrated per-worker service capacity).
+// Some experiments take extra knobs, carried as typed options through
+// the registry (experiments.Options; -list shows which experiment reads
+// which flags). The serve experiment takes -serve-requests (arrival
+// stream length) and -serve-util (offered utilization, default 0.7 of
+// the calibrated per-worker service capacity); the adapt experiment
+// takes -adapt-period (orchestrator tick cadence in simulated cycles)
+// and -adapt-budget (migration-cost budget fraction).
 package main
 
 import (
@@ -76,6 +79,8 @@ func main() {
 		foldedPath = flag.String("folded", "", "attach the cycle profiler and write folded stacks (speedscope-loadable) to this file")
 		serveReqs  = flag.Int("serve-requests", 0, "serve experiment: arrival stream length (0 = the scale's default)")
 		serveUtil  = flag.Float64("serve-util", 0, "serve experiment: offered utilization the arrival rate targets (0 = 0.7)")
+		adaptPer   = flag.Float64("adapt-period", 0, "adapt experiment: orchestrator tick period in simulated cycles (0 = default)")
+		adaptBud   = flag.Float64("adapt-budget", 0, "adapt experiment: migration-cost budget fraction (0 = default)")
 	)
 	var shared cli.Flags
 	shared.Register(flag.CommandLine)
@@ -90,7 +95,11 @@ func main() {
 
 	if *list {
 		for _, d := range experiments.Descriptors() {
-			fmt.Printf("%-12s %-18s %s\n", d.Id, d.Artifact, d.Title)
+			opts := ""
+			if len(d.Options) > 0 {
+				opts = " [-" + strings.Join(d.Options, " -") + "]"
+			}
+			fmt.Printf("%-12s %-18s %s%s\n", d.Id, d.Artifact, d.Title, opts)
 		}
 		return
 	}
@@ -144,8 +153,9 @@ func main() {
 	if *breakdown || *foldedPath != "" {
 		experiments.SetCellProfiling(true)
 	}
-	if *serveReqs > 0 || *serveUtil > 0 {
-		experiments.SetServeOptions(experiments.ServeOptions{Requests: *serveReqs, Util: *serveUtil})
+	opts := experiments.Options{
+		Serve: experiments.ServeOptions{Requests: *serveReqs, Util: *serveUtil},
+		Adapt: experiments.AdaptOptions{Period: *adaptPer, BudgetFrac: *adaptBud},
 	}
 	var traced []report.TraceProcess
 	var folded []report.FoldedProfile
@@ -162,7 +172,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		res, err := d.Run(s)
+		res, err := d.Run(s, opts)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}

@@ -26,7 +26,7 @@ func main() {
 		// Attribution is observation-only: wall cycles are bit-identical
 		// with profiling on or off, so profiled runs are still comparable
 		// against unprofiled ones.
-		m.SetProfiling(true)
+		m.Observe(repro.ObserveOptions{Profile: true})
 		out := repro.Aggregate(m, repro.AggregationSpec{
 			Records:     repro.MovingCluster(records, cardinality, 1),
 			Cardinality: cardinality,

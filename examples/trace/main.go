@@ -26,10 +26,10 @@ func main() {
 	// A recorder captures every simulator event: thread migrations, page
 	// faults and migrations, hugepage collapses and splits, AutoNUMA scan
 	// passes, allocator lock-contention stalls, coherence transfers.
-	// Machines without a sink skip all of this at zero cost.
+	// Machines without a sink skip all of this at zero cost. One Observe
+	// call attaches the sink and periodic counter snapshots together.
 	rec := repro.NewTraceRecorder()
-	m.SetTrace(rec)
-	m.StartSnapshots(100_000) // periodic counter samples, every 100k cycles
+	m.Observe(repro.ObserveOptions{Sink: rec, SnapEvery: 100_000})
 
 	out := repro.Aggregate(m, repro.AggregationSpec{
 		Records:     repro.MovingCluster(records, cardinality, 1),

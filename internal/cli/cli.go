@@ -164,8 +164,7 @@ func ValidateJSONL(path string) (int, error) {
 // machine the caller built directly (the tpchbench path; experiment grid
 // cells get theirs from SetCellTracing instead).
 func AttachTrace(m *machine.Machine) {
-	m.SetTrace(trace.NewRecorder())
-	m.StartSnapshots(snapshotEvery)
+	m.Observe(machine.ObserveOptions{Trace: true, SnapEvery: snapshotEvery})
 }
 
 // TraceOf reads the recorder and snapshots off a machine AttachTrace was

@@ -99,7 +99,7 @@ func TestAttachTraceAndTraceOf(t *testing.T) {
 func TestRecordCollectors(t *testing.T) {
 	m := machine.NewB()
 	m.Configure(machine.DefaultConfig(2))
-	m.SetProfiling(true)
+	m.Observe(machine.ObserveOptions{Profile: true})
 	m.Run(2, func(th *machine.Thread) { th.Charge(100) })
 	res := &experiments.Result{Id: "exp", Records: []experiments.Record{
 		{Cell: "plain"},
@@ -117,7 +117,7 @@ func TestRecordCollectors(t *testing.T) {
 func TestWriteFoldedAndChromeTrace(t *testing.T) {
 	m := machine.NewB()
 	m.Configure(machine.DefaultConfig(2))
-	m.SetProfiling(true)
+	m.Observe(machine.ObserveOptions{Profile: true})
 	AttachTrace(m)
 	m.Run(2, func(th *machine.Thread) {
 		base := th.Malloc(4096)

@@ -18,7 +18,7 @@ func renderAll(t *testing.T, id string, s Scale) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(s)
+	res, err := d.Run(s, Options{})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -81,7 +81,7 @@ func traceArtifacts(t *testing.T) (chrome, jsonl []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(Tiny)
+	res, err := d.Run(Tiny, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func profileArtifacts(t *testing.T) (jsonl, folded []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(Tiny)
+	res, err := d.Run(Tiny, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func serveArtifacts(t *testing.T) (jsonl []byte, tables string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(Tiny)
+	res, err := d.Run(Tiny, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestServeAttributesTail(t *testing.T) {
 	SetRunner(core.Runner{Workers: 0})
 	defer SetRunner(core.Runner{})
 	resetCaches()
-	r, err := Serve(Tiny)
+	r, err := Serve(Tiny, ServeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(Tiny)
+	res, err := d.Run(Tiny, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,8 @@ func TestRecordsCoverCells(t *testing.T) {
 		"fig5a":        8,  // 4 policies x {on, off}
 		"fig5b-series": 4,  // 4 policies
 		"table3":       2,
-		"profile":      3, // default, pinned, tuned
+		"profile":      3,  // default, pinned, tuned
+		"adapt":        30, // 3 machines x 2 workloads x 5 configs
 	}
 	for id, n := range want {
 		resetCaches()
@@ -399,7 +400,7 @@ func TestRecordsCoverCells(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := d.Run(Tiny)
+		res, err := d.Run(Tiny, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -444,13 +445,14 @@ func TestRegistryCoversRenderables(t *testing.T) {
 		"profile":      5, // Table III extended + breakdown + 3 matrices
 		"tune":         4, // strategies + top-k + marginals + regret
 		"serve":        4, // summary + histogram + tail attribution + regret
+		"adapt":        2, // throughput comparison + orchestrator actions
 	}
 	for id, n := range want {
 		d, err := Lookup(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := d.Run(Tiny)
+		res, err := d.Run(Tiny, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

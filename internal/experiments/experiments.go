@@ -11,7 +11,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/machine"
 	"repro/internal/query"
-	"repro/internal/trace"
 	"repro/internal/vmm"
 )
 
@@ -39,6 +38,7 @@ type Scale struct {
 	WarmRuns       int     // W5 warm runs per query (paper: 5)
 	Fig3Runs       int     // consecutive runs in Figure 3 (paper: 10)
 	ServeRequests  int     // open-loop serving stream length (extension)
+	AdaptPartKB    int     // adapt experiment per-worker partition KiB (extension)
 }
 
 // Tiny is for unit tests: everything finishes in milliseconds.
@@ -51,6 +51,7 @@ var Tiny = Scale{
 	WarmRuns:       1,
 	Fig3Runs:       4,
 	ServeRequests:  240,
+	AdaptPartKB:    64,
 }
 
 // Small runs each driver in a few seconds; used by quick benchmarks.
@@ -63,6 +64,7 @@ var Small = Scale{
 	WarmRuns:       2,
 	Fig3Runs:       10,
 	ServeRequests:  1_200,
+	AdaptPartKB:    512,
 }
 
 // Cal is the reproduction scale used for EXPERIMENTS.md: large enough
@@ -79,6 +81,7 @@ var Cal = Scale{
 	WarmRuns:       2,
 	Fig3Runs:       10,
 	ServeRequests:  4_000,
+	AdaptPartKB:    4_096,
 }
 
 // Default is the full simulator scale used for EXPERIMENTS.md.
@@ -91,6 +94,7 @@ var Default = Scale{
 	WarmRuns:       2,
 	Fig3Runs:       10,
 	ServeRequests:  8_000,
+	AdaptPartKB:    8_192,
 }
 
 // machineFor builds a fresh machine by letter (A, B, C). When cell
@@ -108,13 +112,13 @@ func machineFor(letter string) *machine.Machine {
 	default:
 		panic("experiments: unknown machine " + letter)
 	}
+	var o machine.ObserveOptions
 	if cellTracing {
-		m.SetTrace(trace.NewRecorder())
-		m.StartSnapshots(cellSnapEvery)
+		o.Trace = true
+		o.SnapEvery = cellSnapEvery
 	}
-	if cellProfiling {
-		m.SetProfiling(true)
-	}
+	o.Profile = cellProfiling
+	m.Observe(o)
 	return m
 }
 

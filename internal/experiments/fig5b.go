@@ -37,7 +37,7 @@ func Fig5bSeries(s Scale) (Fig5bSeriesResult, error) {
 		cfg.AutoNUMA = true
 		m.Configure(cfg)
 		// Snapshots drive this figure, so sample regardless of -trace.
-		m.StartSnapshots(cellSnapEvery)
+		m.Observe(machine.ObserveOptions{SnapEvery: cellSnapEvery})
 		res := runW1(m, s, datagen.MovingClusterDist)
 		rec := finishCell(start, cfg.Policy.String(),
 			map[string]string{"policy": cfg.Policy.String()},

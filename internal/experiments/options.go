@@ -1,0 +1,22 @@
+package experiments
+
+// Options carries per-experiment knobs through Descriptor.Run, typed per
+// experiment family. The zero value means "all defaults". Drivers that
+// take no options ignore it; the ones that do declare the knobs they read
+// in Descriptor.Options (numabench -list prints them), so the option
+// surface is discoverable instead of a global-setter side channel.
+type Options struct {
+	// Serve configures the open-loop serving experiment.
+	Serve ServeOptions
+	// Adapt configures the adaptive placement experiment.
+	Adapt AdaptOptions
+}
+
+// AdaptOptions are the adapt experiment's overrides; zero values defer to
+// the orchestrator's defaults.
+type AdaptOptions struct {
+	// Period overrides the orchestrator tick cadence in simulated cycles.
+	Period float64
+	// BudgetFrac overrides the migration-cost budget fraction.
+	BudgetFrac float64
+}

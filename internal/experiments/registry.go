@@ -8,11 +8,11 @@ import (
 	"repro/internal/report"
 )
 
-// Driver runs one experiment id at a scale and returns its unified
-// result: the rendered tables plus one structured record per grid cell.
-// Drivers report malformed sweeps and panicking grid cells as errors
-// instead of crashing the run.
-type Driver func(s Scale) (*Result, error)
+// Driver runs one experiment id at a scale with typed options and
+// returns its unified result: the rendered tables plus one structured
+// record per grid cell. Drivers report malformed sweeps and panicking
+// grid cells as errors instead of crashing the run.
+type Driver func(s Scale, o Options) (*Result, error)
 
 // Descriptor is one registry entry: the experiment's identity and
 // metadata plus its driver. Obtain descriptors with Lookup or
@@ -27,14 +27,22 @@ type Descriptor struct {
 	// DefaultScale is the scale EXPERIMENTS.md regenerates the artifact
 	// at ("cal" unless noted).
 	DefaultScale string
+	// Options names the Options knobs this driver reads (empty for
+	// experiments without any); numabench -list prints them.
+	Options []string
 
 	run Driver
 }
 
-// Run executes the experiment, stamping the result and every record with
-// the experiment id.
-func (d Descriptor) Run(s Scale) (*Result, error) {
-	r, err := d.run(s)
+// Run executes the experiment with the given options, stamping the result
+// and every record with the experiment id. A zero Options runs every
+// knob at its default (deprecated SetServeOptions values still apply as
+// the fallback for callers that have not migrated).
+func (d Descriptor) Run(s Scale, o Options) (*Result, error) {
+	if o.Serve == (ServeOptions{}) {
+		o.Serve = serveOpts
+	}
+	r, err := d.run(s, o)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +62,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig2", Title: "Allocator microbenchmark: time and memory overhead",
 			Artifact: "Figure 2a/2b", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig2(s)
 				if err != nil {
 					return nil, err
@@ -65,7 +73,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig3", Title: "OS scheduler variance vs Sparse affinity, consecutive W1 runs",
 			Artifact: "Figure 3", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig3(s)
 				if err != nil {
 					return nil, err
@@ -76,14 +84,14 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "table2", Title: "Simulated machine specifications",
 			Artifact: "Table II", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				return &Result{Tables: []*report.Table{Table2()}}, nil
 			},
 		},
 		{
 			Id: "table3", Title: "Perf-counter profile, default vs Sparse placement",
 			Artifact: "Table III", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Table3(s)
 				if err != nil {
 					return nil, err
@@ -94,7 +102,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig4", Title: "Sparse vs Dense thread affinity across datasets",
 			Artifact: "Figure 4", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig4(s)
 				if err != nil {
 					return nil, err
@@ -105,7 +113,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig5a", Title: "AutoNUMA effect on runtime and locality by placement policy",
 			Artifact: "Figure 5a/5b", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig5a(s)
 				if err != nil {
 					return nil, err
@@ -116,7 +124,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig5b-series", Title: "Local access ratio over time from counter snapshots",
 			Artifact: "Figure 5b (time series)", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig5bSeries(s)
 				if err != nil {
 					return nil, err
@@ -127,7 +135,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig5c", Title: "THP impact per memory allocator",
 			Artifact: "Figure 5c", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig5c(s)
 				if err != nil {
 					return nil, err
@@ -138,7 +146,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig5d", Title: "Combined AutoNUMA+THP effect across machines",
 			Artifact: "Figure 5d", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig5d(s)
 				if err != nil {
 					return nil, err
@@ -152,7 +160,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig6j", Title: "W1 by dataset distribution and allocator",
 			Artifact: "Figure 6j", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig6j(s)
 				if err != nil {
 					return nil, err
@@ -163,7 +171,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig7", Title: "Index nested-loop join grids and best-config phase split",
 			Artifact: "Figure 7a-7e", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				// Render the four grids and derive Figure 7e from them
 				// instead of re-running every sweep: deterministic cells
 				// make the two byte-identical, at half the wall time.
@@ -185,7 +193,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig8", Title: "TPC-H latency reduction, tuned vs default, five engines",
 			Artifact: "Figure 8", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig8(s)
 				if err != nil {
 					return nil, err
@@ -196,7 +204,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig9", Title: "TPC-H Q5/Q18 latency by allocator, MonetDB",
 			Artifact: "Figure 9", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig9(s)
 				if err != nil {
 					return nil, err
@@ -207,7 +215,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "fig10", Title: "Decision-flowchart validation against the measured optimum",
 			Artifact: "Figure 10", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Fig10(s)
 				if err != nil {
 					return nil, err
@@ -218,7 +226,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "profile", Title: "Cycle attribution: component breakdown and node matrices, default vs pinned vs tuned",
 			Artifact: "Table III (extended)", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Profile(s)
 				if err != nil {
 					return nil, err
@@ -231,7 +239,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "tune", Title: "Configuration-space tuning campaigns and flowchart regret",
 			Artifact: "Figure 10 (extended)", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Tune(s)
 				if err != nil {
 					return nil, err
@@ -244,8 +252,9 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "serve", Title: "Open-loop serving: tail latency, SLO attainment and p999 attribution",
 			Artifact: "extension", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
-				r, err := Serve(s)
+			Options: []string{"serve-requests", "serve-util"},
+			run: func(s Scale, o Options) (*Result, error) {
+				r, err := Serve(s, o.Serve)
 				if err != nil {
 					return nil, err
 				}
@@ -255,9 +264,21 @@ func buildRegistry() map[string]Descriptor {
 			},
 		},
 		{
+			Id: "adapt", Title: "Online adaptive placement vs OS default and the static tune optimum",
+			Artifact: "extension", DefaultScale: "cal",
+			Options: []string{"adapt-period", "adapt-budget"},
+			run: func(s Scale, o Options) (*Result, error) {
+				r, err := Adapt(s, o.Adapt)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.Render(), r.RenderActions()}, Records: r.Records}, nil
+			},
+		},
+		{
 			Id: "ablation", Title: "Cost-model ablations of the headline default-vs-tuned gain",
 			Artifact: "extension", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := Ablate(s)
 				if err != nil {
 					return nil, err
@@ -268,7 +289,7 @@ func buildRegistry() map[string]Descriptor {
 		{
 			Id: "preferred", Title: "Preferred-policy target-node sensitivity",
 			Artifact: "extension", DefaultScale: "cal",
-			run: func(s Scale) (*Result, error) {
+			run: func(s Scale, o Options) (*Result, error) {
 				r, err := PolicySensitivity(s)
 				if err != nil {
 					return nil, err
@@ -292,7 +313,7 @@ func buildRegistry() map[string]Descriptor {
 func machineSweep(id, title, artifact string, fn func(s Scale, mc string) (Fig6Result, error)) Descriptor {
 	return Descriptor{
 		Id: id, Title: title, Artifact: artifact, DefaultScale: "cal",
-		run: func(s Scale) (*Result, error) {
+		run: func(s Scale, o Options) (*Result, error) {
 			out := &Result{}
 			for _, mc := range []string{"A", "B", "C"} {
 				r, err := fn(s, mc)

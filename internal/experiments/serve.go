@@ -28,8 +28,10 @@ type ServeOptions struct {
 var serveOpts ServeOptions
 
 // SetServeOptions overrides the serve experiment's stream length and
-// offered load. Same contract as SetRunner: set up front, not while a
-// driver runs.
+// offered load as a package-wide default.
+//
+// Deprecated: pass Options{Serve: ...} to Descriptor.Run instead; the
+// global only applies when Run receives a zero ServeOptions.
 func SetServeOptions(o ServeOptions) { serveOpts = o }
 
 // serveArrivals are the two arrival processes each configuration serves.
@@ -62,13 +64,13 @@ type ServeResult struct {
 
 // serveSpec builds the shared serving spec for a scale: dataset dimensions
 // follow the figure drivers, the stream length follows the scale (or the
-// CLI override), and the arrival rate and SLO ladder anchor to the
+// options override), and the arrival rate and SLO ladder anchor to the
 // calibrated default-config service time so every cell faces the same
 // offered load.
-func serveSpec(s Scale) serve.Spec {
+func serveSpec(s Scale, o ServeOptions) serve.Spec {
 	req := s.ServeRequests
-	if serveOpts.Requests > 0 {
-		req = serveOpts.Requests
+	if o.Requests > 0 {
+		req = o.Requests
 	}
 	sp := serve.Spec{
 		Requests: req,
@@ -81,7 +83,7 @@ func serveSpec(s Scale) serve.Spec {
 		TPCHSF:   s.TPCHSF,
 	}.Normalize()
 	mean := serve.CalibratedMeanService("Machine A", sp)
-	sp.MeanGap = serve.GapFor(mean, sp.Workers, serveOpts.Util)
+	sp.MeanGap = serve.GapFor(mean, sp.Workers, o.Util)
 	sp.SLOs = serve.DefaultSLOs(mean)
 	return sp
 }
@@ -93,17 +95,18 @@ func serveSpec(s Scale) serve.Spec {
 // uninstrumented run.
 func serveMachine() *machine.Machine {
 	m := machineFor("A")
+	o := machine.ObserveOptions{Profile: true}
 	if _, ok := m.Trace().(*trace.Recorder); !ok {
-		m.SetTrace(trace.NewRecorder())
-		m.StartSnapshots(cellSnapEvery)
+		o.Trace, o.SnapEvery = true, cellSnapEvery
 	}
-	m.SetProfiling(true)
+	m.Observe(o)
 	return m
 }
 
-// Serve runs the open-loop serving experiment at a scale.
-func Serve(s Scale) (ServeResult, error) {
-	base := serveSpec(s)
+// Serve runs the open-loop serving experiment at a scale with the given
+// options (zero values defer to the scale and serve defaults).
+func Serve(s Scale, o ServeOptions) (ServeResult, error) {
+	base := serveSpec(s, o)
 	out := ServeResult{
 		MeanService: serve.CalibratedMeanService("Machine A", base),
 		SLOLabels:   serve.SLOMultiples(),

@@ -25,6 +25,16 @@ func (m *Machine) runDaemons(threads []*Thread) {
 			m.thpPass(threads)
 		}
 	}
+	// The attached placement daemon (SetDaemon) runs last so it observes
+	// the kernel mechanisms' effects for this boundary. daemonThreads
+	// marks the open actuation window; the callback may detach the daemon,
+	// which the loop condition honours.
+	for m.daemon != nil && m.clock >= m.nextDaemon {
+		m.nextDaemon += m.daemonPeriod
+		m.daemonThreads = threads
+		m.daemon(&Telemetry{m: m}, actuator{m: m})
+		m.daemonThreads = nil
+	}
 }
 
 // autoNUMAPass models one round of the kernel's NUMA balancing: hint-fault

@@ -195,6 +195,17 @@ type Machine struct {
 	// returned cost into stall and work.
 	prof            *profiler
 	pendingLockWait float64
+
+	// Placement daemon (nil when detached); see observe.go. daemonThreads
+	// is the parked thread set during a daemon window (nil outside one,
+	// which is how the Actuator enforces its scope); threadNodeAcc is the
+	// per-thread x per-node DRAM access table Telemetry exposes, grown on
+	// demand and accumulated only while a daemon is attached.
+	daemon        func(*Telemetry, Actuator)
+	daemonPeriod  float64
+	nextDaemon    float64
+	daemonThreads []*Thread
+	threadNodeAcc [][]uint64
 }
 
 type sampleEntry struct {
@@ -261,6 +272,9 @@ func (m *Machine) Configure(cfg RunConfig) {
 	m.wireAllocHooks()
 	m.nextBalance = m.clock + m.P.AutoNUMAPeriod
 	m.nextTHPScan = m.clock + m.P.THPPeriod
+	if m.daemon != nil {
+		m.nextDaemon = m.clock + m.daemonPeriod
+	}
 	// The OS scheduler's appetite for migration varies run to run; sample
 	// it log-uniformly from the configured range (Figure 3's variance).
 	lo, hi := m.P.MigrateRateMin, m.P.MigrateRateMax
@@ -385,7 +399,7 @@ func (m *Machine) noteDRAM(home topology.NodeID, t *Thread) {
 		m.remoteWin++
 	}
 	m.sampleTick++
-	if m.cfg.AutoNUMA && m.sampleTick%16 == 0 {
+	if (m.cfg.AutoNUMA || m.daemon != nil) && m.sampleTick%16 == 0 {
 		vpn := t.lastVPN
 		e := m.samples[vpn]
 		if e.thread == t.id {
@@ -395,6 +409,9 @@ func (m *Machine) noteDRAM(home topology.NodeID, t *Thread) {
 		}
 		e.node = t.Node()
 		m.samples[vpn] = e
+	}
+	if m.daemon != nil {
+		m.noteThreadNode(t.id, home)
 	}
 	if m.windowTotal >= 8192 {
 		m.refreshContention()

@@ -311,6 +311,9 @@ func (pr *profiler) snapshot() *Profile {
 // profiler. Attaching starts a fresh accumulation. Like tracing, profiling
 // only observes — simulated results are byte-identical either way — and
 // with profiling off every hook reduces to one pointer compare.
+//
+// Deprecated: use Observe with ObserveOptions.Profile. SetProfiling
+// remains as a thin wrapper (pass on=false directly to detach).
 func (m *Machine) SetProfiling(on bool) {
 	if !on {
 		m.prof = nil

@@ -15,6 +15,9 @@ type Snapshot struct {
 // (vmm placement events, allocator lock stalls). Pass nil to detach. With
 // no sink attached every hook reduces to one pointer compare, so untraced
 // runs pay nothing.
+//
+// Deprecated: use Observe with ObserveOptions.Trace/Sink, which composes
+// all the instruments in one call. SetTrace remains as a thin wrapper.
 func (m *Machine) SetTrace(s trace.Sink) {
 	m.trace = s
 	if s == nil {
@@ -84,6 +87,9 @@ const maxSnapshots = 64
 // scheduling event at or after its stamp. The new series gets its own
 // backing storage: a slice previously obtained from Snapshots stays valid
 // across a restart (phase rescoping, back-to-back serving phases).
+//
+// Deprecated: use Observe with ObserveOptions.SnapEvery. StartSnapshots
+// remains as a thin wrapper.
 func (m *Machine) StartSnapshots(every float64) {
 	if every <= 0 {
 		every = 1e8

@@ -1,0 +1,430 @@
+// Package orchestrator is an online adaptive placement daemon for the
+// simulated NUMA machine: it runs at quantum boundaries (machine.SetDaemon),
+// watches live telemetry — per-thread × node DRAM access deltas, the access
+// samples behind AutoNUMA, and modeled memory-controller occupancy — and
+// reactively migrates threads toward their dominant memory node, migrates
+// hot remote pages toward their accessors, and reweights the interleave
+// rotor away from saturated controllers (machine.Actuator).
+//
+// Unlike the kernel's AutoNUMA balancer (the paper's central criticism:
+// "improving locality at any cost"), every action is gated by hysteresis
+// and a migration-cost budget, so an oscillating access pattern cannot
+// start a migration storm. Decisions are pure functions of simulated
+// state: no RNG, no host time — a run with the orchestrator attached is
+// deterministic, and one attached in DryRun mode is byte-identical to no
+// daemon at all.
+package orchestrator
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Config tunes the orchestrator's feedback loop. The zero value is not
+// runnable; start from DefaultConfig.
+type Config struct {
+	// Period is the daemon cadence in simulated cycles.
+	Period float64
+	// MinSamples is the minimum per-tick DRAM accesses a thread must show
+	// before its traffic split is trusted.
+	MinSamples uint64
+	// DominanceMin is the share of a thread's per-tick DRAM traffic one
+	// remote node must serve to count toward a migration streak.
+	DominanceMin float64
+	// StreakTicks is how many consecutive ticks the same remote node must
+	// dominate before the thread migrates (the anti-oscillation gate).
+	StreakTicks int
+	// CooldownTicks blocks a just-migrated thread from moving again.
+	CooldownTicks int
+	// MaxThreadMoves and MaxPageMoves cap actuation per tick.
+	MaxThreadMoves int
+	MaxPageMoves   int
+	// PageHitsMin is the consecutive-sample threshold for page migration
+	// (2 mirrors the kernel's two-sample rule).
+	PageHitsMin int
+	// OccupancySkew is the max/min controller-occupancy ratio beyond which
+	// the interleave rotor is reweighted toward idle controllers; weights
+	// are cleared again when the skew subsides.
+	OccupancySkew float64
+	// WeightHysteresis is the relative change in some weight component
+	// required before a new weighting is pushed (suppresses churn).
+	WeightHysteresis float64
+	// BudgetFrac is the migration-cost budget: modeled migration cycles
+	// spent may not exceed this fraction of the elapsed simulated time
+	// aggregated over running threads (one period with 16 threads running
+	// is 16 periods of thread-time). The pool accrues per tick and banks
+	// at most BudgetBankTicks periods.
+	BudgetFrac      float64
+	BudgetBankTicks int
+	// ThreadMoveCost and PageMoveCost price actions against the budget;
+	// Attach overwrites them with the machine's actual modeled costs.
+	ThreadMoveCost float64
+	PageMoveCost   float64
+	// DryRun observes and plans but never actuates: the observation-only
+	// mode the invariant tests pin.
+	DryRun bool
+}
+
+// DefaultConfig returns the tuning used by the adapt experiment: one tick
+// every quarter quantum-millionth (250k cycles), a 3-tick streak with an
+// 8-tick cooldown, and a 5% migration budget.
+func DefaultConfig() Config {
+	return Config{
+		Period:           250_000,
+		MinSamples:       32,
+		DominanceMin:     0.6,
+		StreakTicks:      3,
+		CooldownTicks:    8,
+		MaxThreadMoves:   2,
+		MaxPageMoves:     64,
+		PageHitsMin:      2,
+		OccupancySkew:    1.3,
+		WeightHysteresis: 0.10,
+		BudgetFrac:       0.05,
+		BudgetBankTicks:  10,
+		ThreadMoveCost:   12_000,
+		PageMoveCost:     31_200,
+	}
+}
+
+// Stats counts what the orchestrator did since New.
+type Stats struct {
+	Ticks       int
+	ThreadMoves int // threads actually migrated
+	PageMoves   int // pages actually migrated
+	Reweights   int // interleave reweight pushes (including clears)
+}
+
+// Orchestrator is the adaptive placement daemon. Create with New, wire to
+// a machine with Attach, and read Stats after the run.
+type Orchestrator struct {
+	cfg   Config
+	m     *machine.Machine
+	stats Stats
+
+	prevAcc    [][]uint64 // last tick's cumulative thread×node access table
+	streak     []int      // consecutive dominant ticks per thread
+	streakNode []int      // the node being streaked toward
+	cooldown   []int      // ticks left before a thread may move again
+	pool       float64    // migration-cost budget pool, in cycles
+	weights    []float64  // last pushed interleave weights (nil = cleared)
+}
+
+// New builds an orchestrator with the given config.
+func New(cfg Config) *Orchestrator {
+	return &Orchestrator{cfg: cfg}
+}
+
+// Stats returns the action counters accumulated so far.
+func (o *Orchestrator) Stats() Stats { return o.stats }
+
+// Attach registers the orchestrator as m's placement daemon and prices
+// its budget with the machine's actual migration cost parameters.
+func (o *Orchestrator) Attach(m *machine.Machine) {
+	o.m = m
+	o.cfg.ThreadMoveCost = m.P.MigrationCycles
+	o.cfg.PageMoveCost = m.P.AutoNUMAPageCost + m.P.AutoNUMAShootdown
+	m.SetDaemon(o.cfg.Period, o.tick)
+}
+
+// Detach unregisters the daemon, leaving the machine as it was.
+func (o *Orchestrator) Detach() {
+	if o.m != nil {
+		o.m.SetDaemon(0, nil)
+		o.m = nil
+	}
+}
+
+// observation is one tick's read of the machine, the pure input to plan.
+// Tests construct these synthetically to drive plan without a machine.
+type observation struct {
+	Nodes int
+	// Acc is the cumulative thread×node DRAM access table; plan diffs it
+	// against the previous tick internally.
+	Acc [][]uint64
+	// ThreadNode[t] is thread t's current node, -1 when done or unknown.
+	ThreadNode []int
+	// NodeThreads counts running threads per node and Contexts the
+	// hardware contexts per node; together they gate thread moves so the
+	// orchestrator never oversubscribes a target node. Nil/zero disables
+	// the guard.
+	NodeThreads []int
+	Contexts    int
+	// Occupancy is the per-node controller contention multiplier.
+	Occupancy []float64
+	// HotPages are the current access samples (sorted by address).
+	HotPages []machine.HotPage
+}
+
+// threadMove and pageMove are planned actions.
+type threadMove struct {
+	Thread int
+	To     topology.NodeID
+}
+
+type pageMove struct {
+	To    topology.NodeID
+	Addrs []uint64
+}
+
+// actions is plan's output for one tick.
+type actions struct {
+	ThreadMoves []threadMove
+	PageMoves   []pageMove
+	// SetWeights pushes Weights to the interleave rotor when true
+	// (Weights nil means clear back to unweighted).
+	SetWeights bool
+	Weights    []float64
+}
+
+// observe builds this tick's observation from live telemetry.
+func (o *Orchestrator) observe(tel *machine.Telemetry) observation {
+	n := o.m.Spec.Topo.Nodes()
+	acc := tel.ThreadNodeAccesses()
+	tn := make([]int, len(acc))
+	for t := range tn {
+		if node, ok := tel.ThreadNode(t); ok {
+			tn[t] = int(node)
+		} else {
+			tn[t] = -1
+		}
+	}
+	return observation{
+		Nodes:       n,
+		Acc:         acc,
+		ThreadNode:  tn,
+		NodeThreads: tel.NodeThreads(),
+		Contexts:    o.m.Spec.CoresPerNode * o.m.Spec.ThreadsPerCore,
+		Occupancy:   tel.NodeOccupancy(),
+		HotPages:    tel.HotPages(),
+	}
+}
+
+// plan turns one observation into gated actions, updating the hysteresis
+// and budget state. It is deterministic and side-effect-free outside the
+// orchestrator's own fields.
+func (o *Orchestrator) plan(obs observation) actions {
+	o.stats.Ticks++
+	alive := 0
+	for _, n := range obs.ThreadNode {
+		if n >= 0 {
+			alive++
+		}
+	}
+	if alive < 1 {
+		alive = 1
+	}
+	accrual := o.cfg.Period * o.cfg.BudgetFrac * float64(alive)
+	o.pool += accrual
+	if bank := float64(o.cfg.BudgetBankTicks) * accrual; o.pool > bank {
+		o.pool = bank
+	}
+
+	for len(o.streak) < len(obs.Acc) {
+		o.streak = append(o.streak, 0)
+		o.streakNode = append(o.streakNode, -1)
+		o.cooldown = append(o.cooldown, 0)
+	}
+
+	var acts actions
+
+	// Thread migration: a thread whose DRAM traffic this tick was served
+	// DominanceMin-majority by one *remote* node starts (or continues) a
+	// streak toward it; StreakTicks consecutive ticks trigger the move,
+	// capacity permitting (a full target node blocks the move but keeps
+	// the streak, so it fires when a context frees up).
+	nodeLoad := append([]int(nil), obs.NodeThreads...)
+	moves := 0
+	for t := range obs.Acc {
+		delta, total := o.accDelta(t, obs.Acc[t])
+		if o.cooldown[t] > 0 {
+			o.cooldown[t]--
+			o.streak[t], o.streakNode[t] = 0, -1
+			continue
+		}
+		cur := -1
+		if t < len(obs.ThreadNode) {
+			cur = obs.ThreadNode[t]
+		}
+		if cur < 0 || total < o.cfg.MinSamples {
+			o.streak[t], o.streakNode[t] = 0, -1
+			continue
+		}
+		dom, domCount := 0, uint64(0)
+		for n, c := range delta {
+			if c > domCount {
+				dom, domCount = n, c
+			}
+		}
+		if dom == cur || float64(domCount) < o.cfg.DominanceMin*float64(total) {
+			o.streak[t], o.streakNode[t] = 0, -1
+			continue
+		}
+		if o.streakNode[t] == dom {
+			o.streak[t]++
+		} else {
+			o.streak[t], o.streakNode[t] = 1, dom
+		}
+		if o.streak[t] < o.cfg.StreakTicks || moves >= o.cfg.MaxThreadMoves {
+			continue
+		}
+		if o.pool < o.cfg.ThreadMoveCost {
+			continue
+		}
+		if nodeLoad != nil && obs.Contexts > 0 && dom < len(nodeLoad) && nodeLoad[dom] >= obs.Contexts {
+			continue
+		}
+		o.pool -= o.cfg.ThreadMoveCost
+		acts.ThreadMoves = append(acts.ThreadMoves, threadMove{Thread: t, To: topology.NodeID(dom)})
+		if nodeLoad != nil && dom < len(nodeLoad) {
+			nodeLoad[dom]++
+			if cur < len(nodeLoad) {
+				nodeLoad[cur]--
+			}
+		}
+		o.streak[t], o.streakNode[t] = 0, -1
+		o.cooldown[t] = o.cfg.CooldownTicks
+		moves++
+	}
+
+	// Page migration: hot pages (the kernel's two-sample rule, but only
+	// ones whose sampled accessor still runs remotely from the page) move
+	// toward the accessor's current node, hottest first, budget-capped.
+	type cand struct {
+		page   machine.HotPage
+		target int
+	}
+	var cands []cand
+	for _, p := range obs.HotPages {
+		if p.Hits < o.cfg.PageHitsMin || p.Thread < 0 || p.Thread >= len(obs.ThreadNode) {
+			continue
+		}
+		target := obs.ThreadNode[p.Thread]
+		if target < 0 || target == int(p.Home) {
+			continue
+		}
+		cands = append(cands, cand{page: p, target: target})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].page.Hits != cands[j].page.Hits {
+			return cands[i].page.Hits > cands[j].page.Hits
+		}
+		return cands[i].page.Addr < cands[j].page.Addr
+	})
+	perTarget := map[int][]uint64{}
+	var targets []int
+	pages := 0
+	for _, c := range cands {
+		if pages >= o.cfg.MaxPageMoves || o.pool < o.cfg.PageMoveCost {
+			break
+		}
+		o.pool -= o.cfg.PageMoveCost
+		if _, ok := perTarget[c.target]; !ok {
+			targets = append(targets, c.target)
+		}
+		perTarget[c.target] = append(perTarget[c.target], c.page.Addr)
+		pages++
+	}
+	sort.Ints(targets)
+	for _, tgt := range targets {
+		acts.PageMoves = append(acts.PageMoves, pageMove{To: topology.NodeID(tgt), Addrs: perTarget[tgt]})
+	}
+
+	// Interleave reweighting: when controller occupancy skews past the
+	// threshold, weight nodes by inverse occupancy so new pages land on
+	// idle controllers; clear when balance returns. WeightHysteresis
+	// suppresses pushes that barely differ from the installed weights.
+	if len(obs.Occupancy) > 0 {
+		lo, hi := obs.Occupancy[0], obs.Occupancy[0]
+		for _, x := range obs.Occupancy[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if lo > 0 && hi/lo >= o.cfg.OccupancySkew {
+			w := make([]float64, len(obs.Occupancy))
+			for i, x := range obs.Occupancy {
+				w[i] = 1 / x
+			}
+			if o.weightsDiffer(w) {
+				acts.SetWeights, acts.Weights = true, w
+				o.weights = w
+			}
+		} else if o.weights != nil {
+			acts.SetWeights, acts.Weights = true, nil
+			o.weights = nil
+		}
+	}
+	return acts
+}
+
+// accDelta returns thread t's per-node access delta since the last tick
+// and its total, updating the stored cumulative row.
+func (o *Orchestrator) accDelta(t int, row []uint64) ([]uint64, uint64) {
+	for len(o.prevAcc) <= t {
+		o.prevAcc = append(o.prevAcc, nil)
+	}
+	prev := o.prevAcc[t]
+	delta := make([]uint64, len(row))
+	var total uint64
+	for n, c := range row {
+		p := uint64(0)
+		if n < len(prev) {
+			p = prev[n]
+		}
+		delta[n] = c - p
+		total += delta[n]
+	}
+	o.prevAcc[t] = append([]uint64(nil), row...)
+	return delta, total
+}
+
+// weightsDiffer reports whether some component of w moved more than the
+// hysteresis band relative to the installed weights.
+func (o *Orchestrator) weightsDiffer(w []float64) bool {
+	if o.weights == nil || len(o.weights) != len(w) {
+		return true
+	}
+	for i := range w {
+		ref := o.weights[i]
+		if ref == 0 {
+			if w[i] != 0 {
+				return true
+			}
+			continue
+		}
+		d := (w[i] - ref) / ref
+		if d < 0 {
+			d = -d
+		}
+		if d > o.cfg.WeightHysteresis {
+			return true
+		}
+	}
+	return false
+}
+
+// tick is the daemon callback: observe, plan, and (unless DryRun) act.
+func (o *Orchestrator) tick(tel *machine.Telemetry, act machine.Actuator) {
+	acts := o.plan(o.observe(tel))
+	if o.cfg.DryRun {
+		return
+	}
+	for _, mv := range acts.ThreadMoves {
+		if act.MigrateThread(mv.Thread, mv.To) {
+			o.stats.ThreadMoves++
+		}
+	}
+	for _, pm := range acts.PageMoves {
+		o.stats.PageMoves += act.MigratePages(pm.Addrs, pm.To)
+	}
+	if acts.SetWeights {
+		act.SetInterleaveWeights(acts.Weights)
+		o.stats.Reweights++
+	}
+}

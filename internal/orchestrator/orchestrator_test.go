@@ -1,0 +1,279 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// obsWith builds a synthetic two-node observation where thread 0 runs on
+// node 0 and its per-tick traffic is served domShare-majority by node 1.
+// The cumulative table is advanced internally across calls via prev.
+func obsWith(prev [][]uint64, total, remote uint64) observation {
+	acc := [][]uint64{{0, 0}}
+	if len(prev) > 0 {
+		acc[0][0], acc[0][1] = prev[0][0], prev[0][1]
+	}
+	acc[0][0] += total - remote
+	acc[0][1] += remote
+	return observation{
+		Nodes:      2,
+		Acc:        acc,
+		ThreadNode: []int{0},
+		Occupancy:  []float64{1, 1},
+	}
+}
+
+func planner() *Orchestrator {
+	cfg := DefaultConfig()
+	cfg.StreakTicks = 3
+	cfg.CooldownTicks = 4
+	return New(cfg)
+}
+
+func TestPlanRequiresStreakBeforeMoving(t *testing.T) {
+	o := planner()
+	var obs observation
+	for tick := 1; tick <= 3; tick++ {
+		obs = obsWith(obs.Acc, 100, 90)
+		acts := o.plan(obs)
+		if tick < 3 && len(acts.ThreadMoves) != 0 {
+			t.Fatalf("tick %d: moved before the streak completed: %+v", tick, acts)
+		}
+		if tick == 3 {
+			if len(acts.ThreadMoves) != 1 || acts.ThreadMoves[0].To != 1 {
+				t.Fatalf("tick 3: want one move to node 1, got %+v", acts.ThreadMoves)
+			}
+		}
+	}
+}
+
+func TestPlanNoStormOnOscillation(t *testing.T) {
+	// A thread whose dominant node flips every tick (node 1, local, node 1,
+	// local, ...) never completes a streak: an oscillating access matrix
+	// must produce zero migrations, however long it runs.
+	o := planner()
+	var obs observation
+	for tick := 0; tick < 50; tick++ {
+		if tick%2 == 0 {
+			obs = obsWith(obs.Acc, 100, 90) // remote-dominant
+		} else {
+			obs = obsWith(obs.Acc, 100, 10) // local-dominant
+		}
+		if acts := o.plan(obs); len(acts.ThreadMoves) != 0 {
+			t.Fatalf("tick %d: oscillating pattern caused a move: %+v", tick, acts)
+		}
+	}
+}
+
+func TestPlanAlternatingDominantNodeNeverMoves(t *testing.T) {
+	// Dominance alternating between two remote nodes resets the streak
+	// each tick, so it never reaches StreakTicks.
+	o := planner()
+	acc := [][]uint64{{0, 0, 0}}
+	for tick := 0; tick < 50; tick++ {
+		if tick%2 == 0 {
+			acc[0][1] += 90
+			acc[0][0] += 10
+		} else {
+			acc[0][2] += 90
+			acc[0][0] += 10
+		}
+		obs := observation{
+			Nodes:      3,
+			Acc:        [][]uint64{{acc[0][0], acc[0][1], acc[0][2]}},
+			ThreadNode: []int{0},
+			Occupancy:  []float64{1, 1, 1},
+		}
+		if acts := o.plan(obs); len(acts.ThreadMoves) != 0 {
+			t.Fatalf("tick %d: alternating dominant node caused a move: %+v", tick, acts)
+		}
+	}
+}
+
+func TestPlanCooldownBlocksRemigration(t *testing.T) {
+	o := planner()
+	var obs observation
+	moves := 0
+	// Persistently remote-dominant traffic: after the first move the
+	// cooldown must hold the thread for CooldownTicks, then a fresh
+	// streak is required again, so over 12 ticks at StreakTicks=3 and
+	// CooldownTicks=4 at most 2 moves can fire.
+	for tick := 0; tick < 12; tick++ {
+		obs = obsWith(obs.Acc, 100, 90)
+		moves += len(o.plan(obs).ThreadMoves)
+	}
+	if moves > 2 {
+		t.Fatalf("cooldown failed: %d moves in 12 ticks", moves)
+	}
+	if moves == 0 {
+		t.Fatal("persistent remote dominance never triggered a move")
+	}
+}
+
+func TestPlanBudgetCapsPageMoves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StreakTicks = 1
+	cfg.MaxPageMoves = 1000
+	o := New(cfg)
+	// Each tick accrues Period*BudgetFrac cycles of budget per running
+	// thread; with hot pages worth far more than the accrual, the plan
+	// must stop at the pool, not at MaxPageMoves.
+	pages := make([]machine.HotPage, 200)
+	for i := range pages {
+		pages[i] = machine.HotPage{Addr: uint64(i) << 12, Thread: 0, Hits: 3, Home: 1}
+	}
+	got := 0
+	const ticks = 8
+	for tick := 0; tick < ticks; tick++ {
+		obs := observation{
+			Nodes:      2,
+			Acc:        [][]uint64{{0, 0}},
+			ThreadNode: []int{0},
+			Occupancy:  []float64{1, 1},
+			HotPages:   pages,
+		}
+		for _, pm := range o.plan(obs).PageMoves {
+			got += len(pm.Addrs)
+		}
+	}
+	afford := int(ticks * cfg.Period * cfg.BudgetFrac / cfg.PageMoveCost)
+	if got > afford {
+		t.Fatalf("planned %d page moves over %d ticks, budget affords %d", got, ticks, afford)
+	}
+	if got == 0 {
+		t.Fatalf("budget blocked every page move across %d ticks", ticks)
+	}
+}
+
+func TestPlanReweightHysteresis(t *testing.T) {
+	o := planner()
+	obs := observation{
+		Nodes:      2,
+		Acc:        [][]uint64{},
+		ThreadNode: []int{},
+		Occupancy:  []float64{2, 1},
+	}
+	acts := o.plan(obs)
+	if !acts.SetWeights || acts.Weights == nil {
+		t.Fatalf("2x occupancy skew did not reweight: %+v", acts)
+	}
+	if acts.Weights[0] >= acts.Weights[1] {
+		t.Fatalf("weights %v do not steer away from the loaded controller", acts.Weights)
+	}
+	// A barely different occupancy must not push again (hysteresis)...
+	obs.Occupancy = []float64{2.05, 1}
+	if acts := o.plan(obs); acts.SetWeights {
+		t.Fatalf("re-pushed weights on a %v occupancy wiggle", obs.Occupancy)
+	}
+	// ...but returning to balance clears the weighting once.
+	obs.Occupancy = []float64{1.05, 1}
+	acts = o.plan(obs)
+	if !acts.SetWeights || acts.Weights != nil {
+		t.Fatalf("balanced occupancy did not clear weights: %+v", acts)
+	}
+	if acts := o.plan(obs); acts.SetWeights {
+		t.Fatal("cleared weights twice")
+	}
+}
+
+// remoteScanBody allocates per-thread buffers and scans them repeatedly;
+// with FirstTouch everything is local, so this is just deterministic load
+// for the invariant tests.
+func remoteScanBody(bytes uint64) func(*machine.Thread) {
+	return func(t *machine.Thread) {
+		base := t.Malloc(bytes)
+		for r := 0; r < 4; r++ {
+			t.ReadRun(base, 64, int(bytes/64))
+		}
+	}
+}
+
+// TestDryRunIsObservationOnly pins the tentpole invariant: an attached
+// daemon that never actuates is bit-identical to no daemon at all — same
+// style as TestProfilingIsObservationOnly.
+func TestDryRunIsObservationOnly(t *testing.T) {
+	run := func(attach bool) machine.Result {
+		m := machine.NewA()
+		cfg := machine.DefaultConfig(8)
+		cfg.Seed = 42
+		m.Configure(cfg)
+		if attach {
+			oc := DefaultConfig()
+			oc.DryRun = true
+			o := New(oc)
+			o.Attach(m)
+			defer o.Detach()
+		}
+		return m.Run(8, remoteScanBody(512<<10))
+	}
+	on, off := run(true), run(false)
+	if on.WallCycles != off.WallCycles {
+		t.Errorf("dry-run daemon changed wall cycles: on=%v off=%v", on.WallCycles, off.WallCycles)
+	}
+	if on.Counters != off.Counters {
+		t.Errorf("dry-run daemon changed counters:\non:  %+v\noff: %+v", on.Counters, off.Counters)
+	}
+}
+
+// TestOrchestratorImprovesPathologicalPlacement builds the motivating
+// scenario: Sparse-pinned threads spread over all nodes scanning a
+// DRAM-resident dataset first-touched entirely on node 0, with kernel
+// daemons off. The orchestrator should detect the remote dominance,
+// migrate threads toward the data (capacity permitting) and raise LAR
+// over the static run.
+func TestOrchestratorImprovesPathologicalPlacement(t *testing.T) {
+	// Machine B's 18MiB LLC rounds up to 32MiB effective capacity (the
+	// cache model rounds sets to a power of two), so the dataset must
+	// exceed 32MiB for the scan to reach DRAM at all.
+	const bytes = 64 << 20
+	run := func(attach bool) (machine.Result, Stats) {
+		m := machine.NewB()
+		cfg := machine.TunedConfig(8)
+		cfg.Policy = 0 // FirstTouch
+		cfg.Seed = 7
+		m.Configure(cfg)
+		// Phase 1: one loader thread first-touches the whole dataset on
+		// its own node.
+		var base uint64
+		m.Run(1, func(t *machine.Thread) {
+			base = t.Malloc(bytes)
+			t.WriteRun(base, 64, bytes/64)
+		})
+		m.ResetCounters()
+		var o *Orchestrator
+		if attach {
+			o = New(DefaultConfig())
+			o.Attach(m)
+			defer o.Detach()
+		}
+		// Phase 2: eight threads (Sparse spreads them 2 per node on B, so
+		// six start remote from the data) scan the loader's memory.
+		res := m.Run(8, func(t *machine.Thread) {
+			for r := 0; r < 4; r++ {
+				t.ReadRun(base, 64, bytes/64)
+			}
+		})
+		var st Stats
+		if o != nil {
+			st = o.Stats()
+		}
+		return res, st
+	}
+	adaptive, st := run(true)
+	static, _ := run(false)
+	if st.Ticks == 0 {
+		t.Fatal("orchestrator never ticked")
+	}
+	if st.ThreadMoves+st.PageMoves == 0 {
+		t.Fatalf("orchestrator took no action on a pathological placement: %+v", st)
+	}
+	if adaptive.Counters.LAR() <= static.Counters.LAR() {
+		t.Errorf("adaptive LAR %.3f not above static %.3f (stats %+v)",
+			adaptive.Counters.LAR(), static.Counters.LAR(), st)
+	}
+	if adaptive.WallCycles >= static.WallCycles {
+		t.Errorf("adaptive wall %.0f not below static %.0f (stats %+v)",
+			adaptive.WallCycles, static.WallCycles, st)
+	}
+}

@@ -18,7 +18,7 @@ func goldenProfile() *machine.Profile {
 	cfg := machine.DefaultConfig(4)
 	cfg.Seed = 11
 	m.Configure(cfg)
-	m.SetProfiling(true)
+	m.Observe(machine.ObserveOptions{Profile: true})
 	m.Run(4, func(t *machine.Thread) {
 		base := t.Malloc(256 << 10)
 		for off := uint64(0); off < 256<<10; off += 64 {
@@ -105,7 +105,7 @@ func TestChromeCounterTracks(t *testing.T) {
 	cfg := machine.DefaultConfig(4)
 	cfg.Seed = 11
 	m.Configure(cfg)
-	m.StartSnapshots(1e5)
+	m.Observe(machine.ObserveOptions{SnapEvery: 1e5})
 	m.Run(4, func(th *machine.Thread) {
 		base := th.Malloc(512 << 10)
 		for off := uint64(0); off < 512<<10; off += 64 {

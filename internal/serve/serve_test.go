@@ -137,7 +137,7 @@ func TestRunDeterministic(t *testing.T) {
 	run := func() *Outcome {
 		m := machine.New(machine.SpecA())
 		m.Configure(machine.DefaultConfig(sp.Workers))
-		m.SetProfiling(true)
+		m.Observe(machine.ObserveOptions{Profile: true})
 		return Run(m, sp)
 	}
 	a, b := run(), run()

@@ -428,9 +428,18 @@ func axisCandidates(s Space, cur Point, axis int) []Point {
 	return cands
 }
 
+// shaSlack is the successive-halving promotion tolerance: a rung score is
+// a fractional-dataset *estimate* of the full-size cost, so configs within
+// this relative distance of the cutoff score are promoted too rather than
+// cut by tie-break luck. Small-fraction rungs cluster heavily (whole knob
+// quads tie exactly), which makes the hard rank boundary arbitrary
+// precisely when estimates are least trustworthy.
+const shaSlack = 0.02
+
 // sha runs successive halving: rung r races the surviving points at
 // dataset fraction eta^(r-Rungs+1) and promotes the cheapest ceil(n/eta)
-// to the next rung; the final rung runs at full size.
+// to the next rung (plus near-ties within shaSlack of the cutoff); the
+// final rung runs at full size.
 func (c *campaign) sha() error {
 	type ranked struct {
 		point Point
@@ -473,6 +482,10 @@ func (c *campaign) sha() error {
 		keep := (len(sc) + c.spec.Eta - 1) / c.spec.Eta
 		if keep < 1 {
 			keep = 1
+		}
+		cutoff := sc[keep-1].cycles * (1 + shaSlack)
+		for keep < len(sc) && sc[keep].cycles <= cutoff {
+			keep++
 		}
 		survivors = survivors[:0]
 		for _, s := range sc[:keep] {

@@ -175,7 +175,7 @@ func RunTrial(k TrialKey) (TrialResult, error) {
 	if threads <= 0 {
 		threads = m.Spec.HardwareThreads()
 	}
-	m.SetProfiling(true)
+	m.Observe(machine.ObserveOptions{Profile: true})
 	m.Configure(k.Point.Config(threads, k.Seed))
 	cycles := wl.Run(m, k.Size)
 	res := TrialResult{

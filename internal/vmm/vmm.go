@@ -120,6 +120,12 @@ type Memory struct {
 	preferred topology.NodeID
 	thpAlways bool // THP "always": map whole 2MiB groups at fault time
 
+	// Weighted interleave (nil when unweighted): per-node weights and the
+	// smooth weighted-round-robin credit state that spreads placements
+	// proportionally without bursts. Installed by SetInterleaveWeights.
+	weights []float64
+	credit  []float64
+
 	// Counters for tests and the perf layer.
 	Mapped      uint64 // pages currently mapped
 	MinorFaults uint64
@@ -178,6 +184,62 @@ func (m *Memory) emit(kind trace.Kind, addr uint64, from, to topology.NodeID) {
 		To:     int16(to),
 		Addr:   addr,
 	})
+}
+
+// SetInterleaveWeights makes the Interleave policy bandwidth-aware:
+// subsequent faults distribute pages across nodes in proportion to w
+// (one non-negative weight per node, at least one positive) instead of
+// round-robin by page index. The machine's placement daemon derives w
+// from modeled memory-controller occupancy, steering new pages away from
+// saturated controllers. Placement uses smooth weighted round-robin, so
+// a 2:1:1:1 weighting emits no bursts, and the sequence is a pure
+// function of fault order (deterministic). Pass nil to restore the
+// unweighted rotor. Already-mapped pages are unaffected.
+func (m *Memory) SetInterleaveWeights(w []float64) {
+	if w == nil {
+		m.weights, m.credit = nil, nil
+		return
+	}
+	if len(w) != m.topo.Nodes() {
+		panic(fmt.Sprintf("vmm: SetInterleaveWeights got %d weights for %d nodes", len(w), m.topo.Nodes()))
+	}
+	positive := false
+	for _, x := range w {
+		if x < 0 {
+			panic("vmm: SetInterleaveWeights got a negative weight")
+		}
+		if x > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		panic("vmm: SetInterleaveWeights needs at least one positive weight")
+	}
+	m.weights = append([]float64(nil), w...)
+	m.credit = make([]float64, len(w))
+}
+
+// InterleaveWeights returns a copy of the active interleave weights, nil
+// when the rotor is unweighted.
+func (m *Memory) InterleaveWeights() []float64 {
+	return append([]float64(nil), m.weights...)
+}
+
+// weightedNode advances the smooth weighted-round-robin rotor one step:
+// every node gains its weight in credit, the richest node (lowest index
+// on ties) is picked and pays back the total.
+func (m *Memory) weightedNode() topology.NodeID {
+	best := 0
+	total := 0.0
+	for i, w := range m.weights {
+		m.credit[i] += w
+		total += w
+		if m.credit[i] > m.credit[best] {
+			best = i
+		}
+	}
+	m.credit[best] -= total
+	return topology.NodeID(best)
 }
 
 // SetTHP toggles Transparent Hugepages "always" mode: faults inside a
@@ -313,7 +375,12 @@ func (m *Memory) hugeFault(vpn uint64, toucher, owner topology.NodeID) (Fault, b
 	var target topology.NodeID
 	switch m.policy {
 	case Interleave:
-		target = topology.NodeID((base / PagesPerHuge) % uint64(m.topo.Nodes()))
+		if m.weights != nil {
+			target = m.weightedNode()
+		} else {
+			// Seeded from the toucher like the base-page rotor.
+			target = topology.NodeID((base/PagesPerHuge + uint64(toucher)) % uint64(m.topo.Nodes()))
+		}
 	case Localalloc:
 		target = owner
 	case Preferred:
@@ -361,7 +428,14 @@ func (m *Memory) groupInOneReservation(base uint64) bool {
 func (m *Memory) placeFor(vpn uint64, toucher, owner topology.NodeID) topology.NodeID {
 	switch m.policy {
 	case Interleave:
-		return topology.NodeID(vpn % uint64(m.topo.Nodes()))
+		if m.weights != nil {
+			return m.weightedNode()
+		}
+		// The rotor is seeded from the faulting thread's node (as Linux
+		// seeds the interleave index from the faulting task), so pages
+		// spread symmetrically no matter which node touches first instead
+		// of every toucher starting its stride at node 0.
+		return topology.NodeID((vpn + uint64(toucher)) % uint64(m.topo.Nodes()))
 	case Localalloc:
 		return owner
 	case Preferred:

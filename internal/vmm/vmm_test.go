@@ -43,6 +43,91 @@ func TestInterleaveRoundRobin(t *testing.T) {
 	}
 }
 
+func TestInterleaveSeedsRotorFromToucher(t *testing.T) {
+	// Regression: the interleave rotor used to start at node 0 regardless
+	// of the faulting thread's node, so every toucher's first page piled
+	// onto node 0. The rotor is now seeded from the toucher: the first
+	// page of a (hugepage-aligned) reservation faulted from node n lands
+	// on node n, and per-node totals are symmetric across touchers.
+	for toucher := topology.NodeID(0); toucher < 4; toucher++ {
+		m := newMem(t)
+		m.SetPolicy(Interleave, 0)
+		r := m.Reserve(8*PageSize, 0)
+		if f := m.Fault(r.Base, toucher); f.Node != toucher {
+			t.Errorf("first page touched from node %d placed on node %d, want %d",
+				toucher, f.Node, toucher)
+		}
+		counts := make([]int, 4)
+		for i := uint64(0); i < 8; i++ {
+			n, _, ok := m.Locate(r.Base + i*PageSize)
+			if !ok {
+				m.Fault(r.Base+i*PageSize, toucher)
+				n, _, _ = m.Locate(r.Base + i*PageSize)
+			}
+			counts[n]++
+		}
+		for n, c := range counts {
+			if c != 2 {
+				t.Errorf("toucher %d: node %d got %d pages, want 2", toucher, n, c)
+			}
+		}
+	}
+}
+
+func TestWeightedInterleaveProportions(t *testing.T) {
+	m := newMem(t)
+	m.SetPolicy(Interleave, 0)
+	m.SetInterleaveWeights([]float64{2, 1, 1, 0})
+	r := m.Reserve(16*PageSize, 0)
+	counts := make([]int, 4)
+	var seq []topology.NodeID
+	for i := uint64(0); i < 16; i++ {
+		f := m.Fault(r.Base+i*PageSize, 3)
+		counts[f.Node]++
+		seq = append(seq, f.Node)
+	}
+	if counts[0] != 8 || counts[1] != 4 || counts[2] != 4 || counts[3] != 0 {
+		t.Fatalf("weighted counts = %v, want [8 4 4 0]", counts)
+	}
+	// Smooth WRR must not burst: every prefix of the placement sequence
+	// keeps each node within one page of its proportional share.
+	prefix := make([]float64, 4)
+	for i, n := range seq {
+		prefix[n]++
+		k := float64(i + 1)
+		for node, share := range []float64{0.5, 0.25, 0.25, 0} {
+			if d := prefix[node] - k*share; d > 1 || d < -1 {
+				t.Fatalf("after %d placements node %d has %.0f pages, share %.2f: %v",
+					i+1, node, prefix[node], share, seq)
+			}
+		}
+	}
+	// Clearing the weights restores the toucher-seeded round-robin rotor.
+	m.SetInterleaveWeights(nil)
+	r2 := m.Reserve(PageSize, 0)
+	if f := m.Fault(r2.Base, 2); f.Node != 2 {
+		t.Fatalf("after clearing weights, first page from node 2 on node %d, want 2", f.Node)
+	}
+}
+
+func TestWeightedInterleaveValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	m := newMem(t)
+	mustPanic("wrong length", func() { m.SetInterleaveWeights([]float64{1, 2}) })
+	mustPanic("negative", func() { m.SetInterleaveWeights([]float64{1, -1, 1, 1}) })
+	mustPanic("all zero", func() { m.SetInterleaveWeights([]float64{0, 0, 0, 0}) })
+	if m.InterleaveWeights() != nil {
+		t.Error("rejected weights must not stick")
+	}
+}
+
 func TestLocalallocUsesOwner(t *testing.T) {
 	m := newMem(t)
 	m.SetPolicy(Localalloc, 0)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/machine"
+	"repro/internal/orchestrator"
 	"repro/internal/query"
 	"repro/internal/report"
 	"repro/internal/tpch"
@@ -203,6 +204,44 @@ type (
 var (
 	NewTraceRecorder = trace.NewRecorder
 	TraceKinds       = trace.Kinds
+)
+
+// Unified observability and actuation. Machine.Observe(ObserveOptions)
+// configures tracing, cycle attribution, periodic counter snapshots and
+// counter rescoping in one call and returns a read-only Telemetry view —
+// it replaces the SetTrace/SetProfiling/StartSnapshots/ResetCounters
+// setter dance (those setters remain as deprecated wrappers). Telemetry
+// and Actuator are the two seams a placement daemon programs against; see
+// Machine.SetDaemon.
+type (
+	// ObserveOptions selects what a Machine records.
+	ObserveOptions = machine.ObserveOptions
+	// Telemetry is a read-only view over a machine's live instrumentation.
+	Telemetry = machine.Telemetry
+	// Actuator is the placement-control surface handed to daemons.
+	Actuator = machine.Actuator
+	// HotPage is one sampled page from Telemetry.HotPages.
+	HotPage = machine.HotPage
+)
+
+// The adaptive placement orchestrator (see internal/orchestrator): an
+// online feedback daemon that migrates threads and pages and reweights
+// the interleave rotor from live telemetry, gated by hysteresis and a
+// migration-cost budget.
+type (
+	// Orchestrator is the adaptive placement daemon.
+	Orchestrator = orchestrator.Orchestrator
+	// OrchestratorConfig tunes its feedback loop.
+	OrchestratorConfig = orchestrator.Config
+	// OrchestratorStats counts its actions.
+	OrchestratorStats = orchestrator.Stats
+)
+
+// NewOrchestrator builds an orchestrator; attach it to a machine with
+// Attach. DefaultOrchestratorConfig is the adapt experiment's tuning.
+var (
+	NewOrchestrator           = orchestrator.New
+	DefaultOrchestratorConfig = orchestrator.DefaultConfig
 )
 
 // ChromeTrace writes events as a Chrome trace-event JSON file (loadable

@@ -29,7 +29,11 @@ Gated ratios (each "X_vs_scalar" is ns/op of X over ns/op of scalar/plain):
   scalar ns/op, i.e. the experiment's cost in equivalent scalar accesses;
   serve_vs_scalar — end-to-end probe of the open-loop serving experiment
   (fixed Tiny stream), normalized the same way. Present only when the
-  bench output includes BenchmarkServe.
+  bench output includes BenchmarkServe;
+  adapt_overhead_vs_off — the placement orchestrator's fixed cost: the
+  adapt steady cell with the daemon attached over the same cell without
+  it. Present only when the bench output includes
+  BenchmarkOrchestratorOverhead.
 """
 import argparse
 import json
@@ -84,6 +88,13 @@ def ratios(ns, fig2_seconds):
         # The serving probe runs a fixed Tiny stream, so its ns/op over the
         # scalar path is a machine-independent end-to-end serving cost.
         r["serve_vs_scalar"] = ns["BenchmarkServe"] / scalar
+    on = ns.get("BenchmarkOrchestratorOverhead/on")
+    off = ns.get("BenchmarkOrchestratorOverhead/off")
+    if on is not None and off is not None:
+        # Same workload with and without the orchestrator attached: the
+        # ratio is the daemon's observation-and-planning overhead and must
+        # stay near 1.
+        r["adapt_overhead_vs_off"] = on / off
     if fig2_seconds is not None:
         # Seconds -> ns, over ns per scalar access: the probe's cost in
         # units of "scalar accesses", which transfers across machines.

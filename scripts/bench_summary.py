@@ -18,6 +18,11 @@ Serving cells (the serve experiment's latency records, recognized by a
 p999 key in extra) additionally summarize per cell: latency percentiles,
 SLO attainment and throughput, under a top-level "serving" key.
 
+Adaptive placement cells (the adapt experiment's records, recognized by
+ops + thread_moves keys in extra) summarize per cell: accesses completed,
+local access ratio and the orchestrator's actions, under a top-level
+"adaptive" key.
+
 CI regenerates this as BENCH_ci.json; the committed BENCH_pr4.json is one
 run over the PR's cal-scale fig2+profile sweep plus an sha tuning
 campaign.
@@ -32,6 +37,7 @@ def main():
     experiments = {}
     campaigns = {}
     serving = {}
+    adaptive = {}
     for path in sys.argv[1:]:
         with open(path) as f:
             for line in f:
@@ -79,6 +85,16 @@ def main():
                                 if k.startswith("slo_")
                             },
                         }
+                    if "ops" in extra and "thread_moves" in extra:
+                        cell = f'{rec["experiment"]}/{rec["cell"]}'
+                        adaptive[cell] = {
+                            "ops": extra.get("ops"),
+                            "lar": extra.get("lar"),
+                            "orchestrator_ticks": extra.get("ticks"),
+                            "thread_moves": extra.get("thread_moves"),
+                            "page_moves": extra.get("page_moves"),
+                            "reweights": extra.get("reweights"),
+                        }
     for e in experiments.values():
         e["host_seconds"] = round(e["host_seconds"], 3)
     out = {
@@ -89,6 +105,8 @@ def main():
         out["campaigns"] = {k: campaigns[k] for k in sorted(campaigns)}
     if serving:
         out["serving"] = {k: serving[k] for k in sorted(serving)}
+    if adaptive:
+        out["adaptive"] = {k: adaptive[k] for k in sorted(adaptive)}
     json.dump(out, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
 
