@@ -259,6 +259,34 @@ func BenchmarkOrchestratorOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSpans measures request-span collection cost: the serving
+// experiment's fixed Tiny stream with span assembly off and on. Span
+// collection is observation-only (the simulated output is bit-identical
+// either way — see TestServeSpansObservationOnly), so the on/off ratio
+// the bench gate tracks as spans_overhead_vs_off is pure harness-side
+// bookkeeping and must stay near 1. Fixed scale (ignores REPRO_SCALE) so
+// gate runs are comparable.
+func BenchmarkServeSpans(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments.SetCellSpans(mode.on)
+			defer experiments.SetCellSpans(false)
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Serve(experiments.Tiny, experiments.ServeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.on && len(r.Spans) == 0 {
+					b.Fatal("span collection on but no spans assembled")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAccessPathFig2Cal is the end-to-end probe the CI bench gate
 // tracks alongside the internal/machine BenchmarkAccessPath suite: the
 // Figure 2 allocator microbenchmark at cal scale, whose runtime is

@@ -12,7 +12,10 @@
 //	numabench -experiment fig5a -scale tiny -trace trace.json
 //	numabench -experiment profile -scale cal -breakdown -folded profile.folded
 //	numabench -experiment serve -scale cal -serve-requests 2000 -serve-util 0.8
+//	numabench -experiment serve -scale cal -spans spans.jsonl
+//	numabench -experiment serve-adapt -scale cal -adapt-period 2e6
 //	numabench -validate results.jsonl
+//	numabench -validate spans.jsonl
 //	numabench -list
 //
 // -json appends one JSONL record per grid cell (schema repro/bench/v2;
@@ -25,8 +28,13 @@
 // attaches the cycle-attribution profiler to every grid cell and prints
 // each experiment's percentage-stacked component breakdown; -folded
 // writes the same attribution as folded stacks (open in speedscope:
-// Import > pick the file). All of these are byte-identical for a fixed
-// seed at any -parallel setting, except the host_ns field of JSONL
+// Import > pick the file). -spans collects request-level spans from the
+// serving experiments (session → request → queue-wait/service/phase,
+// each with its profile-bucket and counter window) and writes them as
+// repro/spans/v1 JSONL; -validate recognizes span files by their schema
+// line. Span collection is observation-only: the measured results are
+// bit-identical with it on or off. All of these are byte-identical for a
+// fixed seed at any -parallel setting, except the host_ns field of JSONL
 // records. -cpuprofile/-memprofile capture host pprof profiles of the
 // simulator itself.
 //
@@ -150,6 +158,9 @@ func main() {
 	if shared.Trace != "" {
 		experiments.SetCellTracing(true)
 	}
+	if shared.Spans != "" {
+		experiments.SetCellSpans(true)
+	}
 	if *breakdown || *foldedPath != "" {
 		experiments.SetCellProfiling(true)
 	}
@@ -198,6 +209,11 @@ func main() {
 		}
 		if shared.Trace != "" {
 			traced = append(traced, cli.RecordTraces(res)...)
+		}
+		if shared.Spans != "" && len(res.Spans) > 0 {
+			if err := cli.WriteSpans(shared.Spans, res.Spans); err != nil {
+				fatal(fmt.Errorf("%s: %w", shared.Spans, err))
+			}
 		}
 		if *foldedPath != "" {
 			folded = append(folded, cli.RecordFolded(res)...)

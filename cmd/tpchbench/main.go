@@ -22,8 +22,10 @@
 // see internal/cli): -json appends one structured record per harness run
 // (schema repro/bench/v2, validate with either command's -validate),
 // -trace writes a Chrome trace-event file with one process per harness
-// run, and -cpuprofile/-memprofile capture host pprof profiles. Per-query
-// wall cycles land in the record's extra map as q1..q22.
+// run, -spans writes one request+service span per measured query (schema
+// repro/spans/v1, observation-only — walls are bit-identical with it on
+// or off), and -cpuprofile/-memprofile capture host pprof profiles.
+// Per-query wall cycles land in the record's extra map as q1..q22.
 package main
 
 import (
@@ -34,14 +36,18 @@ import (
 	"strings"
 	"time"
 
+	"hash/fnv"
+
 	"repro/internal/alloc"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/span"
 	"repro/internal/tpch"
 	"repro/internal/vmm"
+	"repro/internal/xrand"
 )
 
 // harnessRecord builds the JSONL record for one completed harness run.
@@ -171,7 +177,7 @@ func main() {
 		}
 		return runHarness(start, spec, p, cfg, db, *warm, queries,
 			p.Name+"/"+which, map[string]string{"engine": p.Name, "config": which},
-			shared.Trace != "")
+			shared.Trace != "", shared.Spans != "")
 	})
 	if err != nil {
 		fatal(err)
@@ -195,29 +201,78 @@ func main() {
 }
 
 // harnessCell is one completed harness run: per-query walls, its JSONL
-// record, and (when -trace is on) its Chrome trace process.
+// record, (when -trace is on) its Chrome trace process, and (when -spans
+// is on) its per-query request spans.
 type harnessCell struct {
 	walls  []float64
 	rec    experiments.Record
 	tp     report.TraceProcess
 	traced bool
+	spans  []span.Span
+}
+
+// cellLabel hashes a cell name to a span-id derivation label, so every
+// harness cell draws its ids from a distinct stream of the same seed.
+func cellLabel(cell string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(cell))
+	return h.Sum64()
 }
 
 // runHarness executes one harness configuration over the query list,
-// optionally tracing its machine.
+// optionally tracing its machine and assembling per-query spans.
 func runHarness(start time.Time, spec machine.Spec, p tpch.Profile, cfg machine.RunConfig,
 	db *tpch.DB, warm int, queries []int, cell string, labels map[string]string,
-	tracing bool) (harnessCell, error) {
+	tracing, spansOn bool) (harnessCell, error) {
 	h := tpch.NewHarness(spec, p, cfg, db, warm)
 	if tracing {
 		cli.AttachTrace(h.Engine.M)
 	}
+	var tel *machine.Telemetry
+	var base *xrand.Rand
+	if spansOn {
+		// Spans imply profiling (bucket windows); observation-only, so the
+		// measured walls are bit-identical with spans on or off.
+		tel = h.Engine.M.Observe(machine.ObserveOptions{Spans: true})
+		base = xrand.New(cfg.Seed).Derive(cellLabel(cell))
+	}
+	var c harnessCell
 	out := make([]float64, 0, len(queries))
-	for _, q := range queries {
+	for qi, q := range queries {
+		var c0 float64
+		var b0 []float64
+		if spansOn {
+			c0 = tel.Clock()
+			b0 = tel.Profile().Totals()
+		}
 		w, _ := h.Measure(q)
 		out = append(out, w)
+		if spansOn {
+			// One request span per query on the machine's global clock; the
+			// window covers the cold run plus the warm runs. The service
+			// child carries the window's bucket delta and the last warm
+			// run's counters (RunQuery rescopes counters per run) — TPC-H
+			// queries run on every hardware thread, so Thread is -1 and the
+			// buckets aggregate all threads.
+			c1 := tel.Clock()
+			name := "q" + strconv.Itoa(q)
+			r := base.Derive(uint64(qi))
+			reqID := span.ID(r)
+			c.spans = append(c.spans, span.Span{
+				Cell: cell, ID: reqID, Kind: span.KindRequest, Name: name,
+				Seq: qi, Thread: -1, Start: c0, End: c1,
+			}, span.Span{
+				Cell: cell, ID: span.ID(r), Parent: reqID, Kind: span.KindService,
+				Name: name, Seq: qi, Thread: -1, Start: c0, End: c1,
+				GStart:   c0,
+				GEnd:     c1,
+				Buckets:  span.BucketMap(span.BucketDelta(b0, tel.Profile().Totals())),
+				Counters: span.CounterMap(tel.Counters()),
+			})
+		}
 	}
-	c := harnessCell{walls: out, rec: harnessRecord(start, cell, labels, h, cfg, queries, out)}
+	c.walls = out
+	c.rec = harnessRecord(start, cell, labels, h, cfg, queries, out)
 	if tracing {
 		c.tp, c.traced = cli.TraceOf(cell, h.Engine.M)
 	}
@@ -247,6 +302,15 @@ func writeOutputs(shared cli.Flags, cells []harnessCell) error {
 			return err
 		}
 	}
+	if shared.Spans != "" {
+		var spans []span.Span
+		for i := range cells {
+			spans = append(spans, cells[i].spans...)
+		}
+		if err := cli.WriteSpans(shared.Spans, spans); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -270,7 +334,7 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 		}
 		return runHarness(start, spec, prof, cfg, db, warm, queries,
 			prof.Name+"/"+names[i], map[string]string{"engine": prof.Name, "allocator": names[i]},
-			shared.Trace != "")
+			shared.Trace != "", shared.Spans != "")
 	})
 	if err != nil {
 		return err

@@ -6,16 +6,21 @@
 package cli
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/span"
 	"repro/internal/tpch"
 	"repro/internal/trace"
 	"repro/internal/tune"
@@ -31,6 +36,7 @@ const snapshotEvery = 1e5
 type Flags struct {
 	JSON       string // -json: JSONL append path
 	Trace      string // -trace: Chrome trace-event output path
+	Spans      string // -spans: request-span JSONL output path
 	Validate   string // -validate: JSONL file to check, then exit
 	CPUProfile string // -cpuprofile: host pprof CPU profile path
 	MemProfile string // -memprofile: host pprof heap profile path
@@ -40,6 +46,7 @@ type Flags struct {
 // text across commands.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Trace, "trace", "", "record simulator event traces and write a Chrome trace-event file")
+	fs.StringVar(&f.Spans, "spans", "", "collect request spans and write them as repro/spans/v1 JSONL to this file")
 	f.RegisterNoTrace(fs)
 }
 
@@ -53,19 +60,68 @@ func (f *Flags) RegisterNoTrace(fs *flag.FlagSet) {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a host pprof heap profile to this file")
 }
 
-// HandleValidate runs the -validate action when requested: it checks the
-// file against the strict reader and prints a one-line summary. It
-// reports whether the flag was set (the command should exit afterwards).
+// HandleValidate runs the -validate action when requested: it sniffs the
+// file's schema from its first line and checks it against the matching
+// strict reader — experiment records (repro/bench/*), request spans
+// (repro/spans/v1) or tune campaigns (repro/tune/v1) — then prints a
+// one-line summary. It reports whether the flag was set (the command
+// should exit afterwards).
 func (f *Flags) HandleValidate(w *os.File) (bool, error) {
 	if f.Validate == "" {
 		return false, nil
 	}
-	n, err := ValidateJSONL(f.Validate)
+	schema, err := sniffSchema(f.Validate)
 	if err != nil {
 		return true, err
 	}
-	fmt.Fprintf(w, "%s: %d records, schema %s\n", f.Validate, n, experiments.SchemaVersion)
+	switch {
+	case strings.HasPrefix(schema, "repro/spans/"):
+		n, err := ValidateSpansJSONL(f.Validate)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintf(w, "%s: %d spans, schema %s\n", f.Validate, n, span.Schema)
+	case strings.HasPrefix(schema, "repro/tune/"):
+		n, err := ValidateTuneJSONL(f.Validate)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintf(w, "%s: %d trials, schema %s\n", f.Validate, n, tune.SchemaVersion)
+	default:
+		n, err := ValidateJSONL(f.Validate)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintf(w, "%s: %d records, schema %s\n", f.Validate, n, experiments.SchemaVersion)
+	}
 	return true, nil
+}
+
+// sniffSchema reads the schema field off a JSONL file's first non-empty
+// line, so -validate can dispatch to the right strict reader. An empty
+// or schemaless first line returns "", which falls through to the
+// experiment-record reader (whose error message names the schema).
+func sniffSchema(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		// Ignore decode errors: the strict reader will report them better.
+		_ = json.Unmarshal(line, &probe)
+		return probe.Schema, nil
+	}
+	return "", sc.Err()
 }
 
 // StartHostProfiles starts the CPU profile when -cpuprofile is set and
@@ -114,6 +170,35 @@ func AppendJSONL(path string, recs []experiments.Record) error {
 		return err
 	}
 	if err := experiments.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateSpansJSONL checks a span artifact against the repro/spans/v1
+// strict reader and returns the span count.
+func ValidateSpansJSONL(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	spans, err := span.ReadJSONL(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return len(spans), nil
+}
+
+// WriteSpans appends request spans to path as repro/spans/v1 JSONL,
+// creating the file if needed — the span counterpart of AppendJSONL.
+func WriteSpans(path string, spans []span.Span) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := span.WriteJSONL(f, spans); err != nil {
 		f.Close()
 		return err
 	}
@@ -184,7 +269,9 @@ func TraceOf(name string, m *machine.Machine) (tp report.TraceProcess, ok bool) 
 }
 
 // RecordTraces collects the trace processes of an experiment result's
-// records (populated when SetCellTracing was on), named id/cell.
+// records (populated when SetCellTracing was on), named id/cell. Spans
+// collected for a cell ride on its process, so the Chrome trace shows
+// request lifelines and flow arrows over the machine tracks.
 func RecordTraces(res *experiments.Result) []report.TraceProcess {
 	var procs []report.TraceProcess
 	for i := range res.Records {
@@ -193,11 +280,18 @@ func RecordTraces(res *experiments.Result) []report.TraceProcess {
 		if len(ev) == 0 {
 			continue
 		}
+		var spans []span.Span
+		for _, s := range res.Spans {
+			if s.Cell == rec.Cell {
+				spans = append(spans, s)
+			}
+		}
 		procs = append(procs, report.TraceProcess{
 			Name:      res.Id + "/" + rec.Cell,
 			FreqGHz:   rec.FreqGHz,
 			Events:    ev,
 			Snapshots: rec.Snapshots,
+			Spans:     spans,
 		})
 	}
 	return procs

@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/span"
 )
 
 // TestFlagParity pins the shared flag names: both CLIs register this
@@ -18,7 +19,7 @@ func TestFlagParity(t *testing.T) {
 	var f Flags
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	f.Register(fs)
-	want := []string{"cpuprofile", "json", "memprofile", "trace", "validate"}
+	want := []string{"cpuprofile", "json", "memprofile", "spans", "trace", "validate"}
 	var got []string
 	fs.VisitAll(func(fl *flag.Flag) { got = append(got, fl.Name) })
 	if len(got) != len(want) {
@@ -60,6 +61,45 @@ func TestAppendAndValidateJSONL(t *testing.T) {
 	}
 	if _, err := ValidateJSONL(path); err == nil {
 		t.Fatal("ValidateJSONL accepted a schemaless record")
+	}
+}
+
+// TestWriteAndValidateSpans exercises the span JSONL plumbing and the
+// schema-dispatching -validate path on both file types.
+func TestWriteAndValidateSpans(t *testing.T) {
+	dir := t.TempDir()
+	spath := filepath.Join(dir, "s.jsonl")
+	spans := []span.Span{
+		{ID: 1, Kind: span.KindRequest, Name: "point", Seq: 0, Thread: 0, Start: 0, End: 10},
+		{ID: 2, Parent: 1, Kind: span.KindService, Name: "point", Seq: 0, Thread: 0, Start: 2, End: 9},
+	}
+	if err := WriteSpans(spath, spans); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateSpansJSONL(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("validated %d spans, want 2", n)
+	}
+
+	// HandleValidate must dispatch by schema: a span file validates as
+	// spans, a record file as records, and a span file fed to the record
+	// reader would have failed — so a passing dispatch proves the sniff.
+	rpath := filepath.Join(dir, "r.jsonl")
+	if err := AppendJSONL(rpath, []experiments.Record{testRecord("a")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{spath, rpath} {
+		f := Flags{Validate: p}
+		done, err := f.HandleValidate(os.Stdout)
+		if !done || err != nil {
+			t.Fatalf("HandleValidate(%s) = %v, %v", p, done, err)
+		}
+	}
+	if _, err := ValidateSpansJSONL(rpath); err == nil {
+		t.Fatal("ValidateSpansJSONL accepted a bench-record file")
 	}
 }
 
@@ -111,6 +151,41 @@ func TestRecordCollectors(t *testing.T) {
 	}
 	if procs := RecordTraces(res); len(procs) != 0 {
 		t.Fatalf("RecordTraces invented %d processes for untraced records", len(procs))
+	}
+}
+
+// TestRecordTracesCarrySpans checks each traced cell's process carries
+// exactly its own Cell-stamped spans, so the Chrome trace renders request
+// lifelines next to that cell's machine events.
+func TestRecordTracesCarrySpans(t *testing.T) {
+	experiments.SetCellTracing(true)
+	experiments.SetCellSpans(true)
+	defer experiments.SetCellTracing(false)
+	defer experiments.SetCellSpans(false)
+	r, err := experiments.Serve(experiments.Tiny, experiments.ServeOptions{Requests: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spans) == 0 {
+		t.Fatal("serve collected no spans")
+	}
+	res := &experiments.Result{Id: "serve", Records: r.Records, Spans: r.Spans}
+	procs := RecordTraces(res)
+	if len(procs) == 0 {
+		t.Fatal("no traced processes")
+	}
+	total := 0
+	for _, p := range procs {
+		cell := strings.TrimPrefix(p.Name, "serve/")
+		for _, s := range p.Spans {
+			if s.Cell != cell {
+				t.Fatalf("process %s carries span for cell %s", p.Name, s.Cell)
+			}
+		}
+		total += len(p.Spans)
+	}
+	if total != len(r.Spans) {
+		t.Fatalf("processes carry %d spans, result has %d", total, len(r.Spans))
 	}
 }
 

@@ -393,6 +393,7 @@ func TestRecordsCoverCells(t *testing.T) {
 		"table3":       2,
 		"profile":      3,  // default, pinned, tuned
 		"adapt":        30, // 3 machines x 2 workloads x 5 configs
+		"serve-adapt":  6,  // 3 machines x {static, adaptive}
 	}
 	for id, n := range want {
 		resetCaches()
@@ -446,6 +447,7 @@ func TestRegistryCoversRenderables(t *testing.T) {
 		"tune":         4, // strategies + top-k + marginals + regret
 		"serve":        4, // summary + histogram + tail attribution + regret
 		"adapt":        2, // throughput comparison + orchestrator actions
+		"serve-adapt":  3, // p999 delta + blame + decision journal
 	}
 	for id, n := range want {
 		d, err := Lookup(id)

@@ -260,7 +260,23 @@ func buildRegistry() map[string]Descriptor {
 				}
 				tables := []*report.Table{r.RenderSummary(), r.RenderHistogram(),
 					r.RenderTail(), r.RenderRegret()}
-				return &Result{Tables: tables, Records: r.Records}, nil
+				return &Result{Tables: tables, Records: r.Records, Spans: r.Spans}, nil
+			},
+		},
+		{
+			Id: "serve-adapt", Title: "Orchestrator under serving: p999 delta, decision journal and span blame",
+			Artifact: "extension", DefaultScale: "cal",
+			Options: []string{"serve-requests", "serve-util", "adapt-period", "adapt-budget"},
+			run: func(s Scale, o Options) (*Result, error) {
+				r, err := ServeAdapt(s, o)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Tables:  []*report.Table{r.RenderP999(), r.RenderBlame(), r.RenderDecisions()},
+					Records: r.Records,
+					Spans:   r.Spans,
+				}, nil
 			},
 		},
 		{

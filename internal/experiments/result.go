@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -112,11 +113,15 @@ func (r *Record) TraceEvents() []trace.Event {
 
 // Result is what every experiment driver returns: the rendered tables the
 // paper shows, plus one structured Record per grid cell for the JSONL
-// sink. Id is stamped by Descriptor.Run.
+// sink. Id is stamped by Descriptor.Run. Spans carries the request-level
+// span trees of serving cells (schema repro/spans/v1, each span's Cell
+// stamped with its grid cell), populated by the serve family when span
+// collection is on.
 type Result struct {
 	Id      string
 	Tables  []*report.Table
 	Records []Record
+	Spans   []span.Span
 }
 
 // cellTracing attaches a trace.Recorder and periodic counter snapshots to
@@ -138,6 +143,26 @@ var cellProfiling bool
 // driver runs (the numabench -breakdown / -folded flags). Off by default:
 // unprofiled cells pay one nil check per hook.
 func SetCellProfiling(on bool) { cellProfiling = on }
+
+// cellSpans marks serving machines for request-span collection, filling
+// Result.Spans on the serve-family drivers. Same contract as cellTracing:
+// set up front, don't toggle mid-driver.
+var cellSpans bool
+
+// SetCellSpans toggles request-span collection for all subsequent
+// serve-family driver runs (the numabench -spans flag). Span assembly is
+// observation-only: every simulated output is bit-identical on or off.
+func SetCellSpans(on bool) { cellSpans = on }
+
+// stampSpans labels a serving outcome's spans with their grid cell and
+// appends them to dst.
+func stampSpans(dst []span.Span, cell string, spans []span.Span) []span.Span {
+	for _, s := range spans {
+		s.Cell = cell
+		dst = append(dst, s)
+	}
+	return dst
+}
 
 // cellSnapEvery is the snapshot cadence for traced cells and the Fig 5b
 // time series, in simulated cycles. Long runs stay bounded because the

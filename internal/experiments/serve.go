@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/tune"
 )
@@ -60,6 +61,9 @@ type ServeResult struct {
 	Regret   report.ServeRegretRow
 	Campaign *tune.Result
 	Records  []Record
+	// Spans holds every cell's request-span tree (Cell-stamped), populated
+	// only when SetCellSpans is on.
+	Spans []span.Span
 }
 
 // serveSpec builds the shared serving spec for a scale: dataset dimensions
@@ -68,6 +72,13 @@ type ServeResult struct {
 // calibrated default-config service time so every cell faces the same
 // offered load.
 func serveSpec(s Scale, o ServeOptions) serve.Spec {
+	return serveSpecFor(s, o, "Machine A")
+}
+
+// serveSpecFor is serveSpec anchored to a named machine's calibrated
+// service time, so the serve-adapt sweep offers each machine a load
+// proportional to its own speed.
+func serveSpecFor(s Scale, o ServeOptions, machineName string) serve.Spec {
 	req := s.ServeRequests
 	if o.Requests > 0 {
 		req = o.Requests
@@ -82,7 +93,7 @@ func serveSpec(s Scale, o ServeOptions) serve.Spec {
 		JoinRows: s.JoinR,
 		TPCHSF:   s.TPCHSF,
 	}.Normalize()
-	mean := serve.CalibratedMeanService("Machine A", sp)
+	mean := serve.CalibratedMeanService(machineName, sp)
 	sp.MeanGap = serve.GapFor(mean, sp.Workers, o.Util)
 	sp.SLOs = serve.DefaultSLOs(mean)
 	return sp
@@ -92,10 +103,11 @@ func serveSpec(s Scale, o ServeOptions) serve.Spec {
 // attribution is the experiment's point) and always tracing (the p999
 // correlation needs the event stream), independent of the global cell
 // toggles. Both are observation-only, so the measured cycles match an
-// uninstrumented run.
-func serveMachine() *machine.Machine {
-	m := machineFor("A")
-	o := machine.ObserveOptions{Profile: true}
+// uninstrumented run. withSpans additionally marks the machine for
+// request-span collection (also observation-only).
+func serveMachine(letter string, withSpans bool) *machine.Machine {
+	m := machineFor(letter)
+	o := machine.ObserveOptions{Profile: true, Spans: withSpans}
 	if _, ok := m.Trace().(*trace.Recorder); !ok {
 		o.Trace, o.SnapEvery = true, cellSnapEvery
 	}
@@ -123,11 +135,12 @@ func Serve(s Scale, o ServeOptions) (ServeResult, error) {
 		sc  ServeCell
 		rec Record
 	}
+	withSpans := cellSpans
 	cells, err := core.Collect(runner, len(configs)*len(serveArrivals), func(i int) (cell, error) {
 		start := startCell()
 		c := configs[i/len(serveArrivals)]
 		arrival := serveArrivals[i%len(serveArrivals)]
-		m := serveMachine()
+		m := serveMachine("A", withSpans)
 		m.Configure(c.cfg)
 		sp := base
 		sp.Arrival = arrival
@@ -145,6 +158,7 @@ func Serve(s Scale, o ServeOptions) (ServeResult, error) {
 	for _, c := range cells {
 		out.Cells = append(out.Cells, c.sc)
 		out.Records = append(out.Records, c.rec)
+		out.Spans = stampSpans(out.Spans, c.sc.Name, c.sc.Out.Spans)
 	}
 
 	// The WS latency campaign: coordinate descent over the full knob

@@ -53,6 +53,9 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 	if alive == 0 {
 		return
 	}
+	// Every page event this pass forces (splits, migrations) is AutoNUMA's
+	// doing, not the application's.
+	defer m.Mem.SetInitiator(m.Mem.SetInitiator(trace.InitAutoNUMA))
 	// Scan tax: the pass write-protects the ranges it scanned, so each
 	// thread re-faults the hot pages it touches next and loses its
 	// translations. The sampled-page set stands in for the scanned hot
@@ -121,13 +124,14 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 		// One event per pass: Addr carries the pages migrated, Cost the
 		// scan stall each running thread just paid.
 		m.trace.Emit(trace.Event{
-			Cycle:  m.clock,
-			Kind:   trace.AutoNUMAScan,
-			Thread: -1,
-			From:   -1,
-			To:     -1,
-			Addr:   uint64(migrated),
-			Cost:   m.P.AutoNUMASampleCost + m.P.AutoNUMAHintFault*hot,
+			Cycle:     m.clock,
+			Kind:      trace.AutoNUMAScan,
+			Initiator: trace.InitAutoNUMA,
+			Thread:    -1,
+			From:      -1,
+			To:        -1,
+			Addr:      uint64(migrated),
+			Cost:      m.P.AutoNUMASampleCost + m.P.AutoNUMAHintFault*hot,
 		})
 	}
 
@@ -140,7 +144,7 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 			target := m.dominantNode()
 			if target != t.Node() {
 				per := m.Spec.CoresPerNode * m.Spec.ThreadsPerCore
-				m.migrateThread(t, int(target)*per+m.rng.Intn(per))
+				m.migrateThread(t, int(target)*per+m.rng.Intn(per), trace.InitAutoNUMA)
 			}
 		}
 	}
@@ -186,6 +190,7 @@ func (m *Machine) thpPass(threads []*Thread) {
 	if alive == 0 {
 		return
 	}
+	defer m.Mem.SetInitiator(m.Mem.SetInitiator(trace.InitKhugepaged))
 	promoted := 0
 	m.Mem.Reservations(func(r vmm.Range) {
 		if promoted >= m.P.THPMaxPromote {

@@ -182,12 +182,14 @@ type Machine struct {
 	migRate   float64 // per-scheduling-event migration probability (PlaceNone)
 	threadSeq int
 
-	// Observability: the event sink (nil when tracing is off) and the
-	// periodic counter-snapshot series; see trace.go.
+	// Observability: the event sink (nil when tracing is off), the
+	// periodic counter-snapshot series, and the span-collection marker
+	// harnesses read via SpansEnabled; see trace.go and observe.go.
 	trace     trace.Sink
 	snapEvery float64
 	nextSnap  float64
 	snaps     []Snapshot
+	spans     bool
 
 	// Cycle attribution (nil when profiling is off); see profile.go.
 	// pendingLockWait accumulates lock-contention waits reported by the

@@ -25,6 +25,12 @@ type ObserveOptions struct {
 	// SnapEvery, when positive, starts periodic counter snapshots at that
 	// simulated-cycle cadence (a fresh series).
 	SnapEvery float64
+	// Spans marks the machine for request-level span collection: harnesses
+	// that support it (internal/serve, the TPC-H CLI) check SpansEnabled and
+	// assemble spans from telemetry. Spans imply Profile — span bucket
+	// deltas come from the profiler — and are observation-only: the
+	// simulated results are bit-identical with spans on or off.
+	Spans bool
 	// ResetCounters zeroes the counter profile after the instruments are
 	// attached, so everything measures from the same origin.
 	ResetCounters bool
@@ -43,6 +49,10 @@ func (m *Machine) Observe(o ObserveOptions) *Telemetry {
 		}
 		m.SetTrace(s)
 	}
+	if o.Spans {
+		m.spans = true
+		o.Profile = true
+	}
 	if o.Profile {
 		m.SetProfiling(true)
 	}
@@ -54,6 +64,11 @@ func (m *Machine) Observe(o ObserveOptions) *Telemetry {
 	}
 	return &Telemetry{m: m}
 }
+
+// SpansEnabled reports whether Observe was asked for request-level spans.
+// The machine itself emits no spans; harnesses (internal/serve, the TPC-H
+// CLI) read this to decide whether to assemble them from telemetry.
+func (m *Machine) SpansEnabled() bool { return m.spans }
 
 // Telemetry is a read-only view over one machine's live instrumentation:
 // counters, snapshots, cycle attribution, trace events, and the
@@ -253,7 +268,7 @@ func (a actuator) MigrateThread(id int, to topology.NodeID) bool {
 			best = hw
 		}
 	}
-	m.migrateThread(t, best)
+	m.migrateThread(t, best, trace.InitOrchestrator)
 	return true
 }
 
@@ -263,6 +278,8 @@ func (a actuator) MigratePages(addrs []uint64, to topology.NodeID) int {
 	if to < 0 || int(to) >= m.Spec.Topo.Nodes() {
 		return 0
 	}
+	// Splits and migrations this call forces are the orchestrator's doing.
+	defer m.Mem.SetInitiator(m.Mem.SetInitiator(trace.InitOrchestrator))
 	alive := 0
 	for _, t := range threads {
 		if !t.done {

@@ -149,12 +149,14 @@ func (m *Machine) osSchedule(t *Thread) {
 	if newHW == t.hw {
 		return
 	}
-	m.migrateThread(t, newHW)
+	m.migrateThread(t, newHW, trace.InitOS)
 }
 
 // migrateThread moves t to a new hardware context, invalidating its
-// core-private state and charging the reschedule cost.
-func (m *Machine) migrateThread(t *Thread, newHW int) {
+// core-private state and charging the reschedule cost. by tags the traced
+// event with the mechanism that decided the move (OS scheduler, AutoNUMA
+// balancing, or the orchestrator's actuator).
+func (m *Machine) migrateThread(t *Thread, newHW int, by trace.Initiator) {
 	from := m.nodeOf(t.hw)
 	m.hwLoad[t.hw]--
 	t.hw = newHW
@@ -167,12 +169,13 @@ func (m *Machine) migrateThread(t *Thread, newHW int) {
 	t.migrations++
 	if m.trace != nil {
 		m.trace.Emit(trace.Event{
-			Cycle:  t.cycles,
-			Kind:   trace.ThreadMigration,
-			Thread: int32(t.id),
-			From:   int16(from),
-			To:     int16(m.nodeOf(newHW)),
-			Cost:   m.P.MigrationCycles,
+			Cycle:     t.cycles,
+			Kind:      trace.ThreadMigration,
+			Initiator: by,
+			Thread:    int32(t.id),
+			From:      int16(from),
+			To:        int16(m.nodeOf(newHW)),
+			Cost:      m.P.MigrationCycles,
 		})
 	}
 }

@@ -66,12 +66,13 @@ func (m *Machine) wireAllocHooks() {
 		}
 		cyc, th := m.traceNow()
 		m.trace.Emit(trace.Event{
-			Cycle:  cyc,
-			Kind:   trace.AllocStall,
-			Thread: th,
-			From:   -1,
-			To:     -1,
-			Cost:   w,
+			Cycle:     cyc,
+			Kind:      trace.AllocStall,
+			Initiator: trace.InitAlloc,
+			Thread:    th,
+			From:      -1,
+			To:        -1,
+			Cost:      w,
 		})
 	})
 }

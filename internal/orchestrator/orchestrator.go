@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Config tunes the orchestrator's feedback loop. The zero value is not
@@ -97,6 +98,53 @@ type Stats struct {
 	Reweights   int // interleave reweight pushes (including clears)
 }
 
+// ThreadEval is one thread's rule evaluation at one tick: the traffic the
+// tick saw, which node dominated it, the hysteresis state after the tick,
+// and the verdict — why the thread did or did not move.
+type ThreadEval struct {
+	Thread   int     `json:"thread"`
+	Node     int     `json:"node"`      // current node, -1 when done/unknown
+	Total    uint64  `json:"total"`     // tick's DRAM access delta
+	DomNode  int     `json:"dom_node"`  // node dominating the delta, -1 if none
+	DomShare float64 `json:"dom_share"` // its share of the delta
+	Streak   int     `json:"streak"`    // streak after this tick
+	Cooldown int     `json:"cooldown"`  // cooldown remaining after this tick
+	// Verdict is one of: "move" (migration planned), "streaking" (dominant
+	// but streak incomplete), "cooldown", "idle" (done or below MinSamples),
+	// "local" (no qualifying remote dominance), "blocked-moves" (per-tick
+	// cap), "blocked-budget", "blocked-capacity" (target node full).
+	Verdict string `json:"verdict"`
+}
+
+// Action is one actuation a tick planned, priced at the modeled cost it
+// paid against the budget pool.
+type Action struct {
+	// Kind is "thread_move", "page_move", "reweight" or "clear_weights".
+	Kind   string  `json:"kind"`
+	Thread int     `json:"thread"` // thread_move: the mover; else -1
+	To     int     `json:"to"`     // target node; -1 for clear_weights
+	Pages  int     `json:"pages"`  // page_move: batch size; else 0
+	Cost   float64 `json:"cost"`   // modeled cycles charged to the pool
+}
+
+// Decision is one tick's journal record: the telemetry digest the tick
+// observed, every rule evaluation, the actions planned with the budget
+// they consumed, and the bank balance left. The journal is the audit trail
+// behind the adapt experiments' decisions table and the Chrome-trace
+// orchestrator overlay.
+type Decision struct {
+	Tick      int          `json:"tick"`
+	Cycle     float64      `json:"cycle"` // machine clock at the tick (0 in plan-only tests)
+	Alive     int          `json:"alive"`
+	Accrued   float64      `json:"accrued"` // budget accrued this tick
+	Spent     float64      `json:"spent"`   // modeled cost of this tick's actions
+	Pool      float64      `json:"pool"`    // bank balance after accrual and spending
+	Occupancy []float64    `json:"occupancy,omitempty"`
+	Evals     []ThreadEval `json:"evals,omitempty"`
+	Actions   []Action     `json:"actions,omitempty"`
+	DryRun    bool         `json:"dry_run,omitempty"` // planned but not actuated
+}
+
 // Orchestrator is the adaptive placement daemon. Create with New, wire to
 // a machine with Attach, and read Stats after the run.
 type Orchestrator struct {
@@ -110,6 +158,7 @@ type Orchestrator struct {
 	cooldown   []int      // ticks left before a thread may move again
 	pool       float64    // migration-cost budget pool, in cycles
 	weights    []float64  // last pushed interleave weights (nil = cleared)
+	journal    []Decision // one record per tick, in tick order
 }
 
 // New builds an orchestrator with the given config.
@@ -119,6 +168,12 @@ func New(cfg Config) *Orchestrator {
 
 // Stats returns the action counters accumulated so far.
 func (o *Orchestrator) Stats() Stats { return o.stats }
+
+// Journal returns a copy of the per-tick decision records accumulated so
+// far, in tick order.
+func (o *Orchestrator) Journal() []Decision {
+	return append([]Decision(nil), o.journal...)
+}
 
 // Attach registers the orchestrator as m's placement daemon and prices
 // its budget with the machine's actual migration cost parameters.
@@ -221,6 +276,13 @@ func (o *Orchestrator) plan(obs observation) actions {
 	if bank := float64(o.cfg.BudgetBankTicks) * accrual; o.pool > bank {
 		o.pool = bank
 	}
+	dec := Decision{
+		Tick:      o.stats.Ticks,
+		Alive:     alive,
+		Accrued:   accrual,
+		Occupancy: append([]float64(nil), obs.Occupancy...),
+		DryRun:    o.cfg.DryRun,
+	}
 
 	for len(o.streak) < len(obs.Acc) {
 		o.streak = append(o.streak, 0)
@@ -239,17 +301,28 @@ func (o *Orchestrator) plan(obs observation) actions {
 	moves := 0
 	for t := range obs.Acc {
 		delta, total := o.accDelta(t, obs.Acc[t])
+		ev := ThreadEval{Thread: t, Node: -1, DomNode: -1}
+		// eval records the thread's verdict plus its post-tick hysteresis
+		// state; every exit path of the gate chain below goes through it.
+		eval := func(verdict string) {
+			ev.Verdict = verdict
+			ev.Streak, ev.Cooldown = o.streak[t], o.cooldown[t]
+			dec.Evals = append(dec.Evals, ev)
+		}
 		if o.cooldown[t] > 0 {
 			o.cooldown[t]--
 			o.streak[t], o.streakNode[t] = 0, -1
+			eval("cooldown")
 			continue
 		}
 		cur := -1
 		if t < len(obs.ThreadNode) {
 			cur = obs.ThreadNode[t]
 		}
+		ev.Node, ev.Total = cur, total
 		if cur < 0 || total < o.cfg.MinSamples {
 			o.streak[t], o.streakNode[t] = 0, -1
+			eval("idle")
 			continue
 		}
 		dom, domCount := 0, uint64(0)
@@ -258,8 +331,10 @@ func (o *Orchestrator) plan(obs observation) actions {
 				dom, domCount = n, c
 			}
 		}
+		ev.DomNode, ev.DomShare = dom, float64(domCount)/float64(total)
 		if dom == cur || float64(domCount) < o.cfg.DominanceMin*float64(total) {
 			o.streak[t], o.streakNode[t] = 0, -1
+			eval("local")
 			continue
 		}
 		if o.streakNode[t] == dom {
@@ -267,17 +342,27 @@ func (o *Orchestrator) plan(obs observation) actions {
 		} else {
 			o.streak[t], o.streakNode[t] = 1, dom
 		}
-		if o.streak[t] < o.cfg.StreakTicks || moves >= o.cfg.MaxThreadMoves {
+		if o.streak[t] < o.cfg.StreakTicks {
+			eval("streaking")
+			continue
+		}
+		if moves >= o.cfg.MaxThreadMoves {
+			eval("blocked-moves")
 			continue
 		}
 		if o.pool < o.cfg.ThreadMoveCost {
+			eval("blocked-budget")
 			continue
 		}
 		if nodeLoad != nil && obs.Contexts > 0 && dom < len(nodeLoad) && nodeLoad[dom] >= obs.Contexts {
+			eval("blocked-capacity")
 			continue
 		}
 		o.pool -= o.cfg.ThreadMoveCost
 		acts.ThreadMoves = append(acts.ThreadMoves, threadMove{Thread: t, To: topology.NodeID(dom)})
+		dec.Actions = append(dec.Actions, Action{
+			Kind: "thread_move", Thread: t, To: dom, Cost: o.cfg.ThreadMoveCost,
+		})
 		if nodeLoad != nil && dom < len(nodeLoad) {
 			nodeLoad[dom]++
 			if cur < len(nodeLoad) {
@@ -287,6 +372,7 @@ func (o *Orchestrator) plan(obs observation) actions {
 		o.streak[t], o.streakNode[t] = 0, -1
 		o.cooldown[t] = o.cfg.CooldownTicks
 		moves++
+		eval("move")
 	}
 
 	// Page migration: hot pages (the kernel's two-sample rule, but only
@@ -330,6 +416,10 @@ func (o *Orchestrator) plan(obs observation) actions {
 	sort.Ints(targets)
 	for _, tgt := range targets {
 		acts.PageMoves = append(acts.PageMoves, pageMove{To: topology.NodeID(tgt), Addrs: perTarget[tgt]})
+		dec.Actions = append(dec.Actions, Action{
+			Kind: "page_move", Thread: -1, To: tgt, Pages: len(perTarget[tgt]),
+			Cost: float64(len(perTarget[tgt])) * o.cfg.PageMoveCost,
+		})
 	}
 
 	// Interleave reweighting: when controller occupancy skews past the
@@ -354,12 +444,19 @@ func (o *Orchestrator) plan(obs observation) actions {
 			if o.weightsDiffer(w) {
 				acts.SetWeights, acts.Weights = true, w
 				o.weights = w
+				dec.Actions = append(dec.Actions, Action{Kind: "reweight", Thread: -1, To: -1})
 			}
 		} else if o.weights != nil {
 			acts.SetWeights, acts.Weights = true, nil
 			o.weights = nil
+			dec.Actions = append(dec.Actions, Action{Kind: "clear_weights", Thread: -1, To: -1})
 		}
 	}
+	for _, a := range dec.Actions {
+		dec.Spent += a.Cost
+	}
+	dec.Pool = o.pool
+	o.journal = append(o.journal, dec)
 	return acts
 }
 
@@ -410,21 +507,37 @@ func (o *Orchestrator) weightsDiffer(w []float64) bool {
 }
 
 // tick is the daemon callback: observe, plan, and (unless DryRun) act.
+// Each tick also lands in the decision journal and — when a trace sink is
+// attached — emits one OrchDecision event (plus OrchReweight on weight
+// pushes) so decisions line up with machine events on the same stream.
 func (o *Orchestrator) tick(tel *machine.Telemetry, act machine.Actuator) {
 	acts := o.plan(o.observe(tel))
-	if o.cfg.DryRun {
-		return
-	}
-	for _, mv := range acts.ThreadMoves {
-		if act.MigrateThread(mv.Thread, mv.To) {
-			o.stats.ThreadMoves++
+	dec := &o.journal[len(o.journal)-1]
+	dec.Cycle = tel.Clock()
+	if !o.cfg.DryRun {
+		for _, mv := range acts.ThreadMoves {
+			if act.MigrateThread(mv.Thread, mv.To) {
+				o.stats.ThreadMoves++
+			}
+		}
+		for _, pm := range acts.PageMoves {
+			o.stats.PageMoves += act.MigratePages(pm.Addrs, pm.To)
+		}
+		if acts.SetWeights {
+			act.SetInterleaveWeights(acts.Weights)
+			o.stats.Reweights++
 		}
 	}
-	for _, pm := range acts.PageMoves {
-		o.stats.PageMoves += act.MigratePages(pm.Addrs, pm.To)
-	}
-	if acts.SetWeights {
-		act.SetInterleaveWeights(acts.Weights)
-		o.stats.Reweights++
+	if s := o.m.Trace(); s != nil {
+		s.Emit(trace.Event{
+			Cycle: dec.Cycle, Kind: trace.OrchDecision, Initiator: trace.InitOrchestrator,
+			Thread: -1, From: -1, To: -1, Addr: uint64(dec.Tick), Cost: dec.Spent,
+		})
+		if acts.SetWeights {
+			s.Emit(trace.Event{
+				Cycle: dec.Cycle, Kind: trace.OrchReweight, Initiator: trace.InitOrchestrator,
+				Thread: -1, From: -1, To: -1, Addr: uint64(dec.Tick),
+			})
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // obsWith builds a synthetic two-node observation where thread 0 runs on
@@ -275,5 +276,85 @@ func TestOrchestratorImprovesPathologicalPlacement(t *testing.T) {
 	if adaptive.WallCycles >= static.WallCycles {
 		t.Errorf("adaptive wall %.0f not below static %.0f (stats %+v)",
 			adaptive.WallCycles, static.WallCycles, st)
+	}
+}
+
+// TestJournalAndTraceEvents pins the decision journal against the trace
+// overlay: one journal record per tick with its telemetry digest and rule
+// evaluations, one OrchDecision event per tick tagged InitOrchestrator,
+// one OrchReweight per weight push, and journal actions consistent with
+// the orchestrator's stats.
+func TestJournalAndTraceEvents(t *testing.T) {
+	const bytes = 48 << 20
+	m := machine.NewB()
+	cfg := machine.TunedConfig(8)
+	cfg.Policy = 0 // FirstTouch
+	cfg.Seed = 7
+	m.Configure(cfg)
+	rec := trace.NewRecorder()
+	m.Observe(machine.ObserveOptions{Sink: rec})
+	var base uint64
+	m.Run(1, func(th *machine.Thread) {
+		base = th.Malloc(bytes)
+		th.WriteRun(base, 64, bytes/64)
+	})
+	o := New(DefaultConfig())
+	o.Attach(m)
+	defer o.Detach()
+	m.Run(8, func(th *machine.Thread) {
+		for r := 0; r < 4; r++ {
+			th.ReadRun(base, 64, bytes/64)
+		}
+	})
+	st := o.Stats()
+	j := o.Journal()
+
+	if len(j) != st.Ticks {
+		t.Fatalf("journal has %d records, stats counted %d ticks", len(j), st.Ticks)
+	}
+	var moves, pages, reweights int
+	lastCycle := -1.0
+	for i, d := range j {
+		if d.Tick != i+1 {
+			t.Errorf("journal record %d has tick %d", i, d.Tick)
+		}
+		if d.Cycle <= lastCycle {
+			t.Errorf("tick %d cycle %v not after %v", i, d.Cycle, lastCycle)
+		}
+		lastCycle = d.Cycle
+		if d.Alive <= 0 || len(d.Evals) == 0 {
+			t.Errorf("tick %d missing telemetry digest: %+v", i, d)
+		}
+		for _, a := range d.Actions {
+			switch a.Kind {
+			case "thread_move":
+				moves++
+			case "page_move":
+				pages += a.Pages
+			case "reweight":
+				reweights++
+			}
+		}
+	}
+	if moves != st.ThreadMoves {
+		t.Errorf("journal plans %d thread moves, stats executed %d", moves, st.ThreadMoves)
+	}
+	if pages < st.PageMoves {
+		t.Errorf("journal plans %d page moves, stats executed %d", pages, st.PageMoves)
+	}
+	if reweights != st.Reweights {
+		t.Errorf("journal plans %d reweights, stats executed %d", reweights, st.Reweights)
+	}
+
+	// The trace overlay: every tick lands on the event stream tagged with
+	// the orchestrator initiator, reweights doubly so.
+	if got := rec.CountBy(trace.OrchDecision, trace.InitOrchestrator); got != uint64(st.Ticks) {
+		t.Errorf("%d orch_decision events, want %d", got, st.Ticks)
+	}
+	if got := rec.CountBy(trace.OrchReweight, trace.InitOrchestrator); got != uint64(st.Reweights) {
+		t.Errorf("%d orch_reweight events, want %d", got, st.Reweights)
+	}
+	if rec.Count(trace.OrchDecision) != rec.CountBy(trace.OrchDecision, trace.InitOrchestrator) {
+		t.Error("orch_decision events with a non-orchestrator initiator")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -15,26 +16,38 @@ import (
 // microsecond timestamps the format requires; Name labels the process
 // track in the viewer (e.g. "fig5a/Interleave+AutoNUMA"). Snapshots, when
 // present, additionally render as counter tracks (DRAM locality, faults
-// and migrations, cache misses over time).
+// and migrations, cache misses over time). Spans, when present, render as
+// request lifelines: per-thread request/queue-wait tracks in the arrival
+// clock, service/phase slices on the machine-thread tracks, and flow
+// arrows linking each request's arrival to its service execution.
 type TraceProcess struct {
 	Name      string
 	FreqGHz   float64
 	Events    []trace.Event
 	Snapshots []machine.Snapshot
+	Spans     []span.Span
 }
 
 // chromeEvent is one entry of the Chrome trace-event JSON array. Fields
 // are marshalled in declaration order, so output is deterministic.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
 	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
+
+// requestBand offsets the per-thread request-lifeline tracks away from the
+// machine-thread tracks (tid requestBand+n+1 is thread n's arrival-clock
+// lifeline, tid n+1 its cycle-clock execution track).
+const requestBand = 1000
 
 // ChromeTrace writes the processes' event streams as a Chrome trace-event
 // JSON array, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
@@ -83,7 +96,7 @@ func ChromeTrace(w io.Writer, procs ...TraceProcess) error {
 				Ts:   e.Cycle / (freq * 1e3), // cycles -> µs
 				Pid:  pid,
 				Tid:  int(e.Thread) + 1, // tid 0 = kernel daemons
-				Args: map[string]any{},
+				Args: map[string]any{"initiator": e.Initiator.String()},
 			}
 			if e.From >= 0 {
 				ev.Args["from_node"] = int(e.From)
@@ -108,6 +121,87 @@ func ChromeTrace(w io.Writer, procs ...TraceProcess) error {
 			}
 			if err := emit(ev); err != nil {
 				return err
+			}
+		}
+		// Request lifelines: each request span (and its queue-wait child)
+		// becomes a slice on its serving thread's arrival-clock band, its
+		// service span a slice on the machine-thread track (phases nest
+		// inside), and a flow arrow ("s" -> "f") links arrival to
+		// execution across the two clock domains. Session spans live in
+		// the JSONL only — they overlap freely and would render badly as
+		// slices.
+		for _, s := range p.Spans {
+			ts := s.Start / (freq * 1e3)
+			dur := s.Duration() / (freq * 1e3)
+			flowID := fmt.Sprintf("%d:%x", pid, s.ID)
+			switch s.Kind {
+			case span.KindRequest, span.KindQueueWait:
+				ev := chromeEvent{
+					Name: s.Kind + ":" + s.Name,
+					Ph:   "X",
+					Ts:   ts,
+					Dur:  dur,
+					Pid:  pid,
+					Tid:  requestBand + s.Thread + 1,
+					Args: map[string]any{
+						"span_id": fmt.Sprintf("%#x", s.ID),
+						"seq":     s.Seq,
+						"session": s.Session,
+					},
+				}
+				if err := emit(ev); err != nil {
+					return err
+				}
+				if s.Kind == span.KindRequest {
+					err := emit(chromeEvent{
+						Name: "request-flow",
+						Cat:  "request",
+						Ph:   "s",
+						Ts:   ts,
+						Pid:  pid,
+						Tid:  requestBand + s.Thread + 1,
+						ID:   flowID,
+					})
+					if err != nil {
+						return err
+					}
+				}
+			case span.KindService, span.KindPhase:
+				args := map[string]any{
+					"span_id": fmt.Sprintf("%#x", s.ID),
+					"seq":     s.Seq,
+					"session": s.Session,
+				}
+				for k, v := range s.Counters {
+					args["ctr_"+k] = v
+				}
+				ev := chromeEvent{
+					Name: s.Kind + ":" + s.Name,
+					Ph:   "X",
+					Ts:   ts,
+					Dur:  dur,
+					Pid:  pid,
+					Tid:  s.Thread + 1,
+					Args: args,
+				}
+				if err := emit(ev); err != nil {
+					return err
+				}
+				if s.Kind == span.KindService {
+					err := emit(chromeEvent{
+						Name: "request-flow",
+						Cat:  "request",
+						Ph:   "f",
+						Ts:   ts,
+						Pid:  pid,
+						Tid:  s.Thread + 1,
+						ID:   fmt.Sprintf("%d:%x", pid, s.Parent),
+						BP:   "e",
+					})
+					if err != nil {
+						return err
+					}
+				}
 			}
 		}
 		// Counter tracks: one "C" event per snapshot per counter group.
@@ -148,27 +242,49 @@ func ChromeTrace(w io.Writer, procs ...TraceProcess) error {
 	return err
 }
 
-// TraceSummary tabulates an event stream: one row per event kind that
-// occurred, with its count, total cost and mean cost in cycles.
+// TraceSummary tabulates an event stream: one row per (event kind,
+// initiator) pair that occurred, with its count, total cost and mean cost
+// in cycles. The initiator column splits mechanisms shared by several
+// actors — page migrations driven by AutoNUMA versus the orchestrator,
+// splits forced by khugepaged versus a migration — which is what the
+// blame attribution joins against.
 func TraceSummary(events []trace.Event) *Table {
-	var counts [16]uint64
-	var costs [16]float64
+	type cell struct {
+		count uint64
+		cost  float64
+	}
+	sums := map[trace.Kind]map[trace.Initiator]*cell{}
 	for _, e := range events {
-		if int(e.Kind) < len(counts) {
-			counts[e.Kind]++
-			costs[e.Kind] += e.Cost
+		byInit := sums[e.Kind]
+		if byInit == nil {
+			byInit = map[trace.Initiator]*cell{}
+			sums[e.Kind] = byInit
 		}
+		c := byInit[e.Initiator]
+		if c == nil {
+			c = &cell{}
+			byInit[e.Initiator] = c
+		}
+		c.count++
+		c.cost += e.Cost
 	}
 	t := &Table{
 		Title:  "Trace summary",
-		Header: []string{"event", "count", "total cost (cycles)", "mean cost"},
+		Header: []string{"event", "initiator", "count", "total cost (cycles)", "mean cost"},
 	}
 	for _, k := range trace.Kinds() {
-		if counts[k] == 0 {
+		byInit := sums[k]
+		if byInit == nil {
 			continue
 		}
-		mean := costs[k] / float64(counts[k])
-		t.AddRow(k.String(), counts[k], fmt.Sprintf("%.0f", costs[k]), fmt.Sprintf("%.1f", mean))
+		for _, in := range trace.Initiators() {
+			c := byInit[in]
+			if c == nil {
+				continue
+			}
+			mean := c.cost / float64(c.count)
+			t.AddRow(k.String(), in.String(), c.count, fmt.Sprintf("%.0f", c.cost), fmt.Sprintf("%.1f", mean))
+		}
 	}
 	return t
 }

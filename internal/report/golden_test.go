@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/orchestrator"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -23,14 +25,19 @@ func goldenTable() *Table {
 }
 
 // goldenEvents is a fixed event stream covering duration events, instant
-// events, node fields, the AutoNUMA pages payload and a daemon thread.
+// events, node fields, the AutoNUMA pages payload, a daemon thread, and
+// one event per initiator tag (the initiator regression: demand, os,
+// autonuma, khugepaged, orchestrator, alloc must all render).
 func goldenEvents() []trace.Event {
 	return []trace.Event{
-		{Kind: trace.ThreadMigration, Cycle: 1000, Thread: 3, From: 0, To: 2, Cost: 12000},
-		{Kind: trace.PageFault, Cycle: 2048, Addr: 0x4000, Thread: 1, From: 1, To: 1},
-		{Kind: trace.AutoNUMAScan, Cycle: 5_000_000, Addr: 17, Thread: -1, From: -1, To: -1, Cost: 250_000},
-		{Kind: trace.AllocStall, Cycle: 6_000_000, Thread: 0, From: -1, To: -1, Cost: 64},
-		{Kind: trace.Coherence, Cycle: 7_000_000, Addr: 0x1fc0, Thread: 2, From: 3, To: 0, Cost: 130},
+		{Kind: trace.ThreadMigration, Cycle: 1000, Thread: 3, From: 0, To: 2, Cost: 12000, Initiator: trace.InitOS},
+		{Kind: trace.PageFault, Cycle: 2048, Addr: 0x4000, Thread: 1, From: 1, To: 1, Initiator: trace.InitDemand},
+		{Kind: trace.PageMigration, Cycle: 3_000_000, Addr: 0x8000, Thread: -1, From: 0, To: 1, Cost: 2600, Initiator: trace.InitAutoNUMA},
+		{Kind: trace.HugeCollapse, Cycle: 4_000_000, Addr: 0x200000, Thread: -1, From: -1, To: 1, Cost: 5000, Initiator: trace.InitKhugepaged},
+		{Kind: trace.AutoNUMAScan, Cycle: 5_000_000, Addr: 17, Thread: -1, From: -1, To: -1, Cost: 250_000, Initiator: trace.InitAutoNUMA},
+		{Kind: trace.AllocStall, Cycle: 6_000_000, Thread: 0, From: -1, To: -1, Cost: 64, Initiator: trace.InitAlloc},
+		{Kind: trace.Coherence, Cycle: 7_000_000, Addr: 0x1fc0, Thread: 2, From: 3, To: 0, Cost: 130, Initiator: trace.InitDemand},
+		{Kind: trace.OrchDecision, Cycle: 8_000_000, Addr: 3, Thread: -1, From: -1, To: -1, Cost: 12000, Initiator: trace.InitOrchestrator},
 	}
 }
 
@@ -77,15 +84,69 @@ func TestRenderJSONGolden(t *testing.T) {
 	checkGolden(t, "table.json", buf.Bytes())
 }
 
+// goldenSpans is a fixed request-span tree: one session owning one
+// request with its queue-wait, service and phase children, exercising the
+// lifeline tracks, flow arrows and counter args of the Chrome exporter.
+func goldenSpans() []span.Span {
+	return []span.Span{
+		{ID: 0xa1, Kind: span.KindSession, Name: "session", Seq: -1, Session: 7, Thread: -1, Start: 100, End: 9000},
+		{ID: 0xb2, Parent: 0xa1, Kind: span.KindRequest, Name: "join", Seq: 0, Session: 7, Thread: 2, Start: 100, End: 5100},
+		{ID: 0xb3, Parent: 0xb2, Kind: span.KindQueueWait, Name: "join", Seq: 0, Session: 7, Thread: 2, Start: 100, End: 600},
+		{ID: 0xb4, Parent: 0xb2, Kind: span.KindService, Name: "join", Seq: 0, Session: 7, Thread: 2,
+			Start: 2000, End: 6500, GStart: 41000, GEnd: 45500,
+			Buckets:  map[string]float64{"page_migration": 1200},
+			Events:   map[string]uint64{"page_migration/autonuma": 2},
+			Counters: map[string]uint64{"remote_accesses": 31}},
+		{ID: 0xb5, Parent: 0xb4, Kind: span.KindPhase, Name: "probe", Seq: 0, Session: 7, Thread: 2, Start: 2000, End: 6000},
+	}
+}
+
+// goldenDecisions is a fixed two-tick journal: an observe-only tick and a
+// tick that moves a thread, a page batch and pushes weights.
+func goldenDecisions() []orchestrator.Decision {
+	return []orchestrator.Decision{
+		{Tick: 0, Cycle: 1_000_000, Alive: 4, Accrued: 5000, Pool: 5000,
+			Evals: []orchestrator.ThreadEval{
+				{Thread: 0, Node: 0, Verdict: "local"},
+				{Thread: 1, Node: 0, Verdict: "streaking"},
+			}},
+		{Tick: 1, Cycle: 2_000_000, Alive: 4, Accrued: 5000, Spent: 4200, Pool: 5800,
+			Evals: []orchestrator.ThreadEval{
+				{Thread: 0, Node: 0, Verdict: "local"},
+				{Thread: 1, Node: 0, DomNode: 1, DomShare: 0.9, Verdict: "move"},
+			},
+			Actions: []orchestrator.Action{
+				{Kind: "thread_move", Thread: 1, To: 1, Cost: 1200},
+				{Kind: "page_move", Thread: -1, To: 1, Pages: 64, Cost: 3000},
+				{Kind: "reweight", Thread: -1, To: -1},
+			}},
+	}
+}
+
 func TestChromeTraceGolden(t *testing.T) {
 	var buf bytes.Buffer
 	err := ChromeTrace(&buf,
-		TraceProcess{Name: "Machine A", FreqGHz: 2.1, Events: goldenEvents()},
+		TraceProcess{Name: "Machine A", FreqGHz: 2.1, Events: goldenEvents(), Spans: goldenSpans()},
 		TraceProcess{Name: "Machine B", FreqGHz: 2.1, Events: nil})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "chrome.json", buf.Bytes())
+}
+
+func TestDecisionsTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	DecisionsTable("golden: decisions",
+		[]DecisionsCell{{Cell: "A/adaptive", Decs: goldenDecisions()}}).Render(&buf)
+	checkGolden(t, "decisions.txt", buf.Bytes())
+}
+
+func TestBlameTableGolden(t *testing.T) {
+	rows := span.Blame(goldenSpans(), map[uint64]bool{0xb2: true})
+	var buf bytes.Buffer
+	BlameTable("golden: tail blame",
+		[]BlameCell{{Cell: "A/adaptive", Rows: rows}}).Render(&buf)
+	checkGolden(t, "blame.txt", buf.Bytes())
 }
 
 func TestTraceSummaryGolden(t *testing.T) {

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/orchestrator"
+	"repro/internal/span"
+)
+
+// This file renders the causal-observability surfaces of the serving
+// stack: the orchestrator's per-tick decision journal and the span-based
+// p999 blame attribution.
+
+// DecisionsCell is one cell's journal for DecisionsTable.
+type DecisionsCell struct {
+	Cell string
+	Decs []orchestrator.Decision
+}
+
+// DecisionsTable renders orchestrator decision journals: one row per tick
+// with its telemetry digest (alive threads), the verdict mix of its rule
+// evaluations, the actions it planned, and the budget flow (accrued,
+// spent, pool balance). It is the human-readable view of the same records
+// the Chrome trace overlays as orch_decision events.
+func DecisionsTable(title string, cells []DecisionsCell) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"cell", "tick", "cycle", "alive", "verdicts", "actions", "accrued", "spent", "pool"},
+	}
+	for _, c := range cells {
+		for _, d := range c.Decs {
+			t.AddRow(c.Cell, d.Tick, fmt.Sprintf("%.0f", d.Cycle), d.Alive,
+				verdictMix(d.Evals), actionMix(d.Actions),
+				fmt.Sprintf("%.0f", d.Accrued), fmt.Sprintf("%.0f", d.Spent),
+				fmt.Sprintf("%.0f", d.Pool))
+		}
+	}
+	return t
+}
+
+// verdictMix compresses a tick's rule evaluations to "verdict:count"
+// pairs, sorted by verdict name ("-" for a tick with no evaluations).
+func verdictMix(evals []orchestrator.ThreadEval) string {
+	if len(evals) == 0 {
+		return "-"
+	}
+	counts := map[string]int{}
+	for _, e := range evals {
+		counts[e.Verdict]++
+	}
+	names := make([]string, 0, len(counts))
+	for v := range counts {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, v := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", v, counts[v]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// actionMix compresses a tick's planned actions: thread moves and
+// reweights by count, page moves by total batch size ("-" for an
+// observe-only tick).
+func actionMix(actions []orchestrator.Action) string {
+	if len(actions) == 0 {
+		return "-"
+	}
+	var threads, reweights, clears, pages int
+	for _, a := range actions {
+		switch a.Kind {
+		case "thread_move":
+			threads++
+		case "page_move":
+			pages += a.Pages
+		case "reweight":
+			reweights++
+		case "clear_weights":
+			clears++
+		}
+	}
+	var parts []string
+	if threads > 0 {
+		parts = append(parts, fmt.Sprintf("thread_move:%d", threads))
+	}
+	if pages > 0 {
+		parts = append(parts, fmt.Sprintf("page_move:%dp", pages))
+	}
+	if reweights > 0 {
+		parts = append(parts, fmt.Sprintf("reweight:%d", reweights))
+	}
+	if clears > 0 {
+		parts = append(parts, fmt.Sprintf("clear_weights:%d", clears))
+	}
+	return strings.Join(parts, " ")
+}
+
+// BlameCell is one cell's blame rows for BlameTable.
+type BlameCell struct {
+	Cell string
+	Rows []span.BlameRow
+}
+
+// BlameTable renders a span-based tail blame attribution: per cell,
+// mechanism and initiator, the share of service-window cycles over all
+// measured requests versus over the p999 tail cohort. The delta column is
+// the signal — a mechanism×initiator over-represented in the tail is what
+// the tail is blamed on.
+func BlameTable(title string, cells []BlameCell) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"cell", "mechanism", "initiator",
+			"all cycles", "tail cycles", "all share", "tail share", "delta"},
+	}
+	for _, c := range cells {
+		for _, r := range c.Rows {
+			t.AddRow(c.Cell, r.Mechanism, r.Initiator,
+				fmt.Sprintf("%.0f", r.AllCycles), fmt.Sprintf("%.0f", r.TailCycles),
+				fmt.Sprintf("%.4f", r.AllShare), fmt.Sprintf("%.4f", r.TailShare),
+				fmt.Sprintf("%+.4f", r.TailShare-r.AllShare))
+		}
+	}
+	return t
+}

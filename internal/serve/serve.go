@@ -25,6 +25,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/query"
+	"repro/internal/span"
 	"repro/internal/tpch"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -204,6 +205,12 @@ const (
 	// burstLabel offsets the per-block derivation labels away from the
 	// per-request labels so the two stream families never collide.
 	burstLabel = uint64(1) << 40
+	// spanSessionLabel and spanRequestLabel offset the span-id derivation
+	// families the same way: session span ids derive from the session id,
+	// request-tree span ids from the request index, and neither collides
+	// with the arrival or burst streams.
+	spanSessionLabel = uint64(2) << 40
+	spanRequestLabel = uint64(3) << 40
 )
 
 // Arrivals generates the request stream. Every request derives its own
@@ -290,21 +297,73 @@ func prepare(m *machine.Machine, sp Spec) *workset {
 	return w
 }
 
+// phaseWin is one per-operator phase of one request's service window, in
+// the serving thread's cycle clock. Phases partition the service window.
+type phaseWin struct {
+	name           string
+	startCy, endCy float64
+	buckets        []float64 // phase profile-bucket delta, nil unprofiled
+}
+
+// phaseTracker stamps per-operator phase boundaries during serveOne. It
+// only reads the thread's cycle account and profile buckets, so tracking
+// is observation-only; a nil tracker (spans off) costs one pointer check
+// per mark.
+type phaseTracker struct {
+	m      *machine.Machine
+	t      *machine.Thread
+	lastCy float64
+	lastBk []float64
+	out    []phaseWin
+}
+
+func (p *phaseTracker) begin(m *machine.Machine, t *machine.Thread) {
+	p.m, p.t = m, t
+	p.lastCy = t.Cycles()
+	p.lastBk = m.ThreadBuckets(t.ID())
+	p.out = p.out[:0]
+}
+
+// mark closes the phase that began at the previous mark (or at begin).
+func (p *phaseTracker) mark(name string) {
+	cy := p.t.Cycles()
+	bk := p.m.ThreadBuckets(p.t.ID())
+	var delta []float64
+	if bk != nil && p.lastBk != nil {
+		delta = make([]float64, len(bk))
+		for i := range bk {
+			delta[i] = bk[i] - p.lastBk[i]
+		}
+	}
+	p.out = append(p.out, phaseWin{name: name, startCy: p.lastCy, endCy: cy, buckets: delta})
+	p.lastCy, p.lastBk = cy, bk
+}
+
 // serveOne executes one request's kernel on the calling thread. No RNG is
 // consumed at service time — every data-dependent choice comes from the
 // request's precomputed Param — so the per-thread service stream depends
-// only on which requests the thread serves.
-func (w *workset) serveOne(t *machine.Thread, rq *Request) {
+// only on which requests the thread serves. ph, when non-nil, records
+// per-operator phase boundaries for span collection.
+func (w *workset) serveOne(t *machine.Thread, rq *Request, ph *phaseTracker) {
 	switch rq.Kind {
 	case PointLookup:
 		n := uint64(len(w.tables.R))
 		for k := uint64(0); k < pointProbes; k++ {
 			w.idx.Lookup(t, w.tables.R[(rq.Param+k*0x9e3779b97f4a7c15)%n].Key)
 		}
+		if ph != nil {
+			ph.mark("probe")
+		}
 		t.Charge(40)
+		if ph != nil {
+			ph.mark("compute")
+		}
 	case IndexJoin:
 		n := uint64(len(w.tables.S))
 		buf := t.Malloc(joinBufBytes)
+		if ph != nil {
+			ph.mark("alloc")
+		}
 		out := uint64(0)
 		for k := uint64(0); k < joinProbes; k++ {
 			key := w.tables.S[(rq.Param+k*0xd1342543de82ef95)%n].Key
@@ -313,8 +372,14 @@ func (w *workset) serveOne(t *machine.Thread, rq *Request) {
 				out++
 			}
 		}
+		if ph != nil {
+			ph.mark("probe")
+		}
 		t.Free(buf, joinBufBytes)
 		t.Charge(90)
+		if ph != nil {
+			ph.mark("finish")
+		}
 	case AggregateScan:
 		win := aggWindow
 		if win > w.recRows {
@@ -325,7 +390,13 @@ func (w *workset) serveOne(t *machine.Thread, rq *Request) {
 			start = int(rq.Param % uint64(w.recRows-win))
 		}
 		t.ReadRun(w.recsBase+uint64(start)*reqRecordBytes, reqRecordBytes, win)
+		if ph != nil {
+			ph.mark("scan")
+		}
 		t.Charge(1.5 * float64(win))
+		if ph != nil {
+			ph.mark("compute")
+		}
 	case TPCHScan:
 		win := tpchWindow
 		if win > w.liRows {
@@ -338,6 +409,9 @@ func (w *workset) serveOne(t *machine.Thread, rq *Request) {
 		for j := 0; j < win; j++ {
 			w.eng.Scan(t, "lineitem", w.tpchCols, start+j)
 		}
+		if ph != nil {
+			ph.mark("scan")
+		}
 	}
 }
 
@@ -348,6 +422,14 @@ type perReq struct {
 	endCy   float64
 	service float64
 	buckets []float64 // service-window profile-bucket deltas, nil unprofiled
+
+	// Span-collection extras, populated only when the machine was marked
+	// for spans: the service window on the machine's global clock (the
+	// clock kernel-daemon events are stamped with), the perf-counter
+	// window, and the per-operator phases.
+	gStart, gEnd float64
+	ctrDelta     machine.Counters
+	phases       []phaseWin
 }
 
 // measureService drains the request stream on sp.Workers simulated threads
@@ -355,18 +437,38 @@ type perReq struct {
 // service cycles plus, when profiling is on, its per-bucket attribution
 // delta. The cooperative scheduler runs one thread at a time, so the
 // shared index/engine state needs no synchronization and the measurement
-// is deterministic.
+// is deterministic. When the machine is marked for spans (Observe with
+// Spans), each window additionally records its global-clock bounds,
+// counter delta and per-operator phases — all read-only telemetry, so the
+// simulated run is bit-identical either way.
 func measureService(m *machine.Machine, w *workset, reqs []Request, workers int) ([]perReq, machine.Result) {
 	svc := make([]perReq, len(reqs))
+	withSpans := m.SpansEnabled()
+	tel := m.Observe(machine.ObserveOptions{})
 	res := m.Run(workers, func(t *machine.Thread) {
 		id := t.ID()
+		var ph *phaseTracker
+		if withSpans {
+			ph = &phaseTracker{}
+		}
 		for i := id; i < len(reqs); i += workers {
 			before := m.ThreadBuckets(id)
+			var c0 machine.Counters
 			svc[i].thread = id
 			svc[i].startCy = t.Cycles()
-			w.serveOne(t, &reqs[i])
+			if withSpans {
+				svc[i].gStart = tel.Clock()
+				c0 = tel.Counters()
+				ph.begin(m, t)
+			}
+			w.serveOne(t, &reqs[i], ph)
 			svc[i].endCy = t.Cycles()
 			svc[i].service = svc[i].endCy - svc[i].startCy
+			if withSpans {
+				svc[i].gEnd = tel.Clock()
+				svc[i].ctrDelta = counterDelta(c0, tel.Counters())
+				svc[i].phases = append([]phaseWin(nil), ph.out...)
+			}
 			if after := m.ThreadBuckets(id); after != nil {
 				for b := range after {
 					after[b] -= before[b]
@@ -377,6 +479,14 @@ func measureService(m *machine.Machine, w *workset, reqs []Request, workers int)
 	})
 	return svc, res
 }
+
+// The telemetry-flattening helpers are shared with the TPC-H CLI through
+// the span package; local names keep the assembly code short.
+var (
+	counterDelta = span.CounterDelta
+	counterMap   = span.CounterMap
+	bucketMap    = span.BucketMap
+)
 
 // queueSim is the G/G/c FCFS overlay: requests enter service in arrival
 // order on the first of c servers to free up (ties to the lowest server
@@ -490,6 +600,48 @@ type Outcome struct {
 	Result  machine.Result // the service phase's machine result
 	Metrics Metrics
 	Tail    Tail
+	// Spans is the run's request-level span tree (session → request →
+	// queue_wait/service → phase), populated only when the machine was
+	// marked for spans (Observe with Spans). Warmup requests included;
+	// MeasuredSpans filters them out.
+	Spans []span.Span
+}
+
+// MeasuredSpans returns the span tree restricted to post-warmup requests
+// (session spans are kept — they scope the whole run).
+func (o *Outcome) MeasuredSpans() []span.Span {
+	if o.Spec.Warmup == 0 {
+		return o.Spans
+	}
+	out := make([]span.Span, 0, len(o.Spans))
+	for _, s := range o.Spans {
+		if s.Kind == span.KindSession || s.Seq >= o.Spec.Warmup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TailIDs returns the request-span ids of the p999 cohort: measured
+// requests whose latency (the request span's duration) is at or above
+// Metrics.P999. Empty when nothing was measured or spans are off.
+func (o *Outcome) TailIDs() map[uint64]bool {
+	tail := map[uint64]bool{}
+	if o.Metrics.Requests == 0 {
+		return tail
+	}
+	for _, s := range o.Spans {
+		if s.Kind == span.KindRequest && s.Seq >= o.Spec.Warmup && s.Duration() >= o.Metrics.P999 {
+			tail[s.ID] = true
+		}
+	}
+	return tail
+}
+
+// Blame joins the measured service spans against their event windows and
+// returns the per-mechanism×initiator tail attribution (see span.Blame).
+func (o *Outcome) Blame() []span.BlameRow {
+	return span.Blame(o.MeasuredSpans(), o.TailIDs())
 }
 
 // Run executes one serving run on an already-configured machine: dataset
@@ -522,7 +674,152 @@ func Run(m *machine.Machine, sp Spec) *Outcome {
 		events = rec.Events[evStart:]
 	}
 	out.Tail = computeTail(svc, latency, wait, measured, out.Metrics.P999, events)
+	if m.SpansEnabled() {
+		out.Spans = buildSpans(sp, reqs, svc, latency, wait, events)
+	}
 	return out
+}
+
+// spanID draws sequential nonzero ids from a derived stream (see
+// span.ID); ids are a function of the seed material alone.
+var spanID = span.ID
+
+// buildSpans assembles the run's span tree from already-collected
+// telemetry: session spans (arrival clock, spanning first arrival to last
+// completion), then per request — in arrival order — a request span
+// (arrival clock; duration = latency), its queue_wait child, its service
+// child (thread-cycle clock, with the global-clock window, bucket delta,
+// counter window and in-window event counts) and the service span's
+// per-operator phases. Everything is derived from svc/latency/wait and
+// the recorded events; nothing touches the machine.
+func buildSpans(sp Spec, reqs []Request, svc []perReq, latency, wait []float64, events []trace.Event) []span.Span {
+	base := xrand.New(sp.Seed)
+
+	// Per-thread request windows in service order — ascending both in the
+	// thread-cycle clock (startCy) and the global clock (gStart), since
+	// each thread serves its requests sequentially.
+	byThread := map[int][]int{}
+	for i := range svc {
+		byThread[svc[i].thread] = append(byThread[svc[i].thread], i)
+	}
+
+	// Match each recorded event to the request window it fell inside.
+	// Thread-stamped events carry the thread's cycle account; daemon
+	// events (Thread == -1) carry the machine's global clock and stall
+	// every thread, so they match the in-flight request on each thread
+	// whose global window contains them.
+	evCount := map[int]map[string]uint64{}
+	record := func(i int, ev trace.Event) {
+		mp := evCount[i]
+		if mp == nil {
+			mp = map[string]uint64{}
+			evCount[i] = mp
+		}
+		mp[ev.Kind.String()+"/"+ev.Initiator.String()]++
+	}
+	for _, ev := range events {
+		if ev.Thread >= 0 {
+			wins := byThread[int(ev.Thread)]
+			j := sort.Search(len(wins), func(k int) bool {
+				return svc[wins[k]].startCy > ev.Cycle
+			})
+			if j == 0 {
+				continue
+			}
+			if i := wins[j-1]; ev.Cycle < svc[i].endCy {
+				record(i, ev)
+			}
+			continue
+		}
+		for _, wins := range byThread {
+			j := sort.Search(len(wins), func(k int) bool {
+				return svc[wins[k]].gStart > ev.Cycle
+			})
+			if j == 0 {
+				continue
+			}
+			if i := wins[j-1]; ev.Cycle < svc[i].gEnd {
+				record(i, ev)
+			}
+		}
+	}
+
+	// Session spans: one per distinct session id, in session-id order,
+	// spanning its first arrival to its last completion.
+	type sessWin struct{ start, end float64 }
+	sessions := map[uint64]*sessWin{}
+	for i := range reqs {
+		end := reqs[i].Arrival + latency[i]
+		w := sessions[reqs[i].Session]
+		if w == nil {
+			sessions[reqs[i].Session] = &sessWin{start: reqs[i].Arrival, end: end}
+			continue
+		}
+		if reqs[i].Arrival < w.start {
+			w.start = reqs[i].Arrival
+		}
+		if end > w.end {
+			w.end = end
+		}
+	}
+	sids := make([]uint64, 0, len(sessions))
+	for sid := range sessions {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
+
+	spans := make([]span.Span, 0, len(sids)+4*len(reqs))
+	sessID := make(map[uint64]uint64, len(sids))
+	for _, sid := range sids {
+		id := spanID(base.Derive(spanSessionLabel + sid))
+		sessID[sid] = id
+		w := sessions[sid]
+		spans = append(spans, span.Span{
+			ID: id, Kind: span.KindSession, Name: "session",
+			Seq: -1, Session: sid, Thread: -1,
+			Start: w.start, End: w.end,
+		})
+	}
+
+	for i := range reqs {
+		r := base.Derive(spanRequestLabel + uint64(i))
+		reqID, qwID, svcID := spanID(r), spanID(r), spanID(r)
+		rq, sv := &reqs[i], &svc[i]
+		name := rq.Kind.String()
+		spans = append(spans,
+			span.Span{
+				ID: reqID, Parent: sessID[rq.Session],
+				Kind: span.KindRequest, Name: name,
+				Seq: i, Session: rq.Session, Thread: sv.thread,
+				Start: rq.Arrival, End: rq.Arrival + latency[i],
+			},
+			span.Span{
+				ID: qwID, Parent: reqID,
+				Kind: span.KindQueueWait, Name: name,
+				Seq: i, Session: rq.Session, Thread: sv.thread,
+				Start: rq.Arrival, End: rq.Arrival + wait[i],
+			},
+			span.Span{
+				ID: svcID, Parent: reqID,
+				Kind: span.KindService, Name: name,
+				Seq: i, Session: rq.Session, Thread: sv.thread,
+				Start: sv.startCy, End: sv.endCy,
+				GStart: sv.gStart, GEnd: sv.gEnd,
+				Buckets:  bucketMap(sv.buckets),
+				Events:   evCount[i],
+				Counters: counterMap(sv.ctrDelta),
+			})
+		for _, p := range sv.phases {
+			spans = append(spans, span.Span{
+				ID: spanID(r), Parent: svcID,
+				Kind: span.KindPhase, Name: p.name,
+				Seq: i, Session: rq.Session, Thread: sv.thread,
+				Start: p.startCy, End: p.endCy,
+				Buckets: bucketMap(p.buckets),
+			})
+		}
+	}
+	return spans
 }
 
 func computeMetrics(sp Spec, svc []perReq, latency, wait []float64, measured []int, makespan float64) Metrics {

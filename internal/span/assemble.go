@@ -1,0 +1,96 @@
+package span
+
+import (
+	"repro/internal/machine"
+	"repro/internal/xrand"
+)
+
+// Helpers for harnesses assembling spans from machine telemetry
+// (internal/serve, the TPC-H CLI). They only transform already-read
+// values — counter windows, bucket deltas, seed material — so using them
+// keeps span collection observation-only.
+
+// ID draws the next nonzero span id from a derived stream; ids are a
+// function of the seed material alone, so the same run always assigns
+// the same ids regardless of what else consumed randomness.
+func ID(r *xrand.Rand) uint64 {
+	id := r.Uint64()
+	for id == 0 {
+		id = r.Uint64()
+	}
+	return id
+}
+
+// CounterDelta returns the counter window b - a, field-wise.
+func CounterDelta(a, b machine.Counters) machine.Counters {
+	return machine.Counters{
+		ThreadMigrations: b.ThreadMigrations - a.ThreadMigrations,
+		CacheAccesses:    b.CacheAccesses - a.CacheAccesses,
+		CacheMisses:      b.CacheMisses - a.CacheMisses,
+		TLBMisses:        b.TLBMisses - a.TLBMisses,
+		LocalAccesses:    b.LocalAccesses - a.LocalAccesses,
+		RemoteAccesses:   b.RemoteAccesses - a.RemoteAccesses,
+		MinorFaults:      b.MinorFaults - a.MinorFaults,
+		PageMigrations:   b.PageMigrations - a.PageMigrations,
+		HugePromotions:   b.HugePromotions - a.HugePromotions,
+		HugeSplits:       b.HugeSplits - a.HugeSplits,
+	}
+}
+
+// CounterMap flattens a counter window to its nonzero JSON-named fields,
+// the Span.Counters layout; an all-zero window yields nil.
+func CounterMap(c machine.Counters) map[string]uint64 {
+	out := map[string]uint64{}
+	put := func(name string, v uint64) {
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	put("thread_migrations", c.ThreadMigrations)
+	put("cache_accesses", c.CacheAccesses)
+	put("cache_misses", c.CacheMisses)
+	put("tlb_misses", c.TLBMisses)
+	put("local_accesses", c.LocalAccesses)
+	put("remote_accesses", c.RemoteAccesses)
+	put("minor_faults", c.MinorFaults)
+	put("page_migrations", c.PageMigrations)
+	put("huge_promotions", c.HugePromotions)
+	put("huge_splits", c.HugeSplits)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// BucketMap flattens a profile-bucket cycle delta to its nonzero buckets
+// by name, the Span.Buckets layout; nil (unprofiled) and all-zero deltas
+// yield nil.
+func BucketMap(delta []float64) map[string]float64 {
+	var out map[string]float64
+	for b, c := range delta {
+		if c == 0 {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[machine.Bucket(b).String()] = c
+	}
+	return out
+}
+
+// BucketDelta returns b - a element-wise (aligned bucket vectors, e.g.
+// two Profile.Totals reads bracketing a window); nil inputs yield nil.
+func BucketDelta(a, b []float64) []float64 {
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, len(b))
+	for i := range b {
+		out[i] = b[i]
+		if i < len(a) {
+			out[i] -= a[i]
+		}
+	}
+	return out
+}

@@ -50,6 +50,13 @@ const (
 	// node. Addr is the line base, From the owning node, To the accessor's
 	// node, Cost the transfer cycles.
 	Coherence
+	// OrchDecision: one placement-orchestrator tick completed. Addr is the
+	// tick number, Cost the modeled migration cost paid by the tick's
+	// actions (0 for observe-only ticks). Always Initiator=InitOrchestrator.
+	OrchDecision
+	// OrchReweight: the orchestrator pushed (or cleared) interleave
+	// weights. Addr is the tick number that decided it.
+	OrchReweight
 
 	numKinds
 )
@@ -84,8 +91,68 @@ func (k Kind) String() string {
 		return "alloc_stall"
 	case Coherence:
 		return "coherence"
+	case OrchDecision:
+		return "orch_decision"
+	case OrchReweight:
+		return "orch_reweight"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Initiator identifies which mechanism caused an event. Page migrations in
+// particular are emitted by three different actors — AutoNUMA's balancing
+// pass, khugepaged's collapse path, and the placement orchestrator's
+// actuator — and the tag is what keeps them distinguishable in summaries
+// and Chrome traces.
+type Initiator uint8
+
+const (
+	// InitDemand: the application's own access path (demand faults, THP
+	// fault-path mappings, coherence transfers).
+	InitDemand Initiator = iota
+	// InitOS: the OS scheduler's random rebalancing of threads.
+	InitOS
+	// InitAutoNUMA: the NUMA-balancing kernel daemon (scans, hint-fault
+	// migrations, the splits they force, and its thread rebalancing).
+	InitAutoNUMA
+	// InitKhugepaged: the hugepage collapse daemon.
+	InitKhugepaged
+	// InitOrchestrator: the placement orchestrator's actuator (explicit
+	// thread/page moves, splits it forces, decisions, reweights).
+	InitOrchestrator
+	// InitAlloc: the allocator layer (lock-contention stalls).
+	InitAlloc
+
+	numInitiators
+)
+
+// Initiators lists every initiator in emission-stable order.
+func Initiators() []Initiator {
+	is := make([]Initiator, numInitiators)
+	for i := range is {
+		is[i] = Initiator(i)
+	}
+	return is
+}
+
+// String returns the initiator's stable name (used by exporters and tables).
+func (i Initiator) String() string {
+	switch i {
+	case InitDemand:
+		return "demand"
+	case InitOS:
+		return "os"
+	case InitAutoNUMA:
+		return "autonuma"
+	case InitKhugepaged:
+		return "khugepaged"
+	case InitOrchestrator:
+		return "orchestrator"
+	case InitAlloc:
+		return "alloc"
+	default:
+		return fmt.Sprintf("initiator(%d)", int(i))
 	}
 }
 
@@ -94,13 +161,14 @@ func (k Kind) String() string {
 // daemon activity between quanta. Field semantics per kind are documented
 // on the Kind constants; -1 marks a field that does not apply.
 type Event struct {
-	Cycle  float64
-	Addr   uint64
-	Cost   float64
-	Kind   Kind
-	Thread int32 // emitting thread id, -1 for kernel daemons
-	From   int16 // source NUMA node, -1 if n/a
-	To     int16 // destination NUMA node, -1 if n/a
+	Cycle     float64
+	Addr      uint64
+	Cost      float64
+	Kind      Kind
+	Initiator Initiator // which mechanism caused the event
+	Thread    int32     // emitting thread id, -1 for kernel daemons
+	From      int16     // source NUMA node, -1 if n/a
+	To        int16     // destination NUMA node, -1 if n/a
 }
 
 // Sink consumes events. Implementations must not retain pointers into the
@@ -115,8 +183,9 @@ type Sink interface {
 type Recorder struct {
 	Events []Event
 
-	counts [numKinds]uint64
-	costs  [numKinds]float64
+	counts   [numKinds]uint64
+	costs    [numKinds]float64
+	byCaller [numKinds][numInitiators]uint64
 }
 
 // NewRecorder returns an empty recorder.
@@ -128,6 +197,9 @@ func (r *Recorder) Emit(e Event) {
 	if e.Kind < numKinds {
 		r.counts[e.Kind]++
 		r.costs[e.Kind] += e.Cost
+		if e.Initiator < numInitiators {
+			r.byCaller[e.Kind][e.Initiator]++
+		}
 	}
 }
 
@@ -147,6 +219,15 @@ func (r *Recorder) TotalCost(k Kind) float64 {
 	return r.costs[k]
 }
 
+// CountBy returns how many events of kind k were recorded with the given
+// initiator tag.
+func (r *Recorder) CountBy(k Kind, i Initiator) uint64 {
+	if k >= numKinds || i >= numInitiators {
+		return 0
+	}
+	return r.byCaller[k][i]
+}
+
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int { return len(r.Events) }
 
@@ -155,4 +236,5 @@ func (r *Recorder) Reset() {
 	r.Events = r.Events[:0]
 	r.counts = [numKinds]uint64{}
 	r.costs = [numKinds]float64{}
+	r.byCaller = [numKinds][numInitiators]uint64{}
 }

@@ -135,9 +135,14 @@ type Memory struct {
 
 	// Trace hooks, attached by the machine layer. sink is nil unless
 	// tracing is on; now supplies the virtual timestamp and the acting
-	// thread id (-1 for kernel daemons) for each event.
-	sink trace.Sink
-	now  func() (cycle float64, thread int32)
+	// thread id (-1 for kernel daemons) for each event. initiator tags
+	// every emitted event with the mechanism driving the current call —
+	// the zero value is trace.InitDemand (the application's own access
+	// path); daemons and the orchestrator's actuator set it around their
+	// passes via SetInitiator.
+	sink      trace.Sink
+	now       func() (cycle float64, thread int32)
+	initiator trace.Initiator
 }
 
 type reservation struct {
@@ -174,15 +179,26 @@ func (m *Memory) SetTrace(sink trace.Sink, now func() (cycle float64, thread int
 	m.now = now
 }
 
+// SetInitiator tags subsequent emitted events with the given mechanism and
+// returns the previous tag so callers can restore it. The machine layer
+// brackets kernel-daemon passes and actuator calls with it; everything
+// else runs under the zero value, trace.InitDemand.
+func (m *Memory) SetInitiator(i trace.Initiator) trace.Initiator {
+	prev := m.initiator
+	m.initiator = i
+	return prev
+}
+
 func (m *Memory) emit(kind trace.Kind, addr uint64, from, to topology.NodeID) {
 	cyc, th := m.now()
 	m.sink.Emit(trace.Event{
-		Cycle:  cyc,
-		Kind:   kind,
-		Thread: th,
-		From:   int16(from),
-		To:     int16(to),
-		Addr:   addr,
+		Cycle:     cyc,
+		Kind:      kind,
+		Initiator: m.initiator,
+		Thread:    th,
+		From:      int16(from),
+		To:        int16(to),
+		Addr:      addr,
 	})
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/query"
 	"repro/internal/report"
+	"repro/internal/span"
 	"repro/internal/tpch"
 	"repro/internal/trace"
 	"repro/internal/vmm"
@@ -330,3 +331,104 @@ var (
 	FoldedStacks     = report.FoldedStacks
 	SetCellProfiling = experiments.SetCellProfiling
 )
+
+// Request-level spans. Machines observed with ObserveOptions{Spans: true}
+// mark themselves for harness-side span assembly: the serving harness and
+// the TPC-H CLI build a deterministic hierarchy (session → request →
+// queue-wait/service/operator phase) from telemetry windows, each span
+// carrying its cycle-bucket delta and counter window. Collection is
+// observation-only — simulated results are bit-identical with spans on or
+// off — and the JSONL encoding (schema repro/spans/v1) round-trips through
+// a strict reader. SpanBlame joins a tail cohort of spans against the
+// migration-family cycles inside their service windows, splitting each
+// mechanism's cycles across the initiators that drove it.
+type (
+	// Span is one node of the request hierarchy.
+	Span = span.Span
+	// SpanBlameRow is one (mechanism, initiator) attribution row.
+	SpanBlameRow = span.BlameRow
+)
+
+// The span JSONL schema and the hierarchy levels (Span.Kind values).
+const (
+	SpanSchema = span.Schema
+
+	SpanSession   = span.KindSession
+	SpanRequest   = span.KindRequest
+	SpanQueueWait = span.KindQueueWait
+	SpanService   = span.KindService
+	SpanPhase     = span.KindPhase
+)
+
+// Span serialization and tail attribution. SetCellSpans attaches span
+// collection to every subsequent experiment grid cell that serves
+// requests, filling each ExperimentResult's Spans field.
+var (
+	WriteSpansJSONL = span.WriteJSONL
+	ReadSpansJSONL  = span.ReadJSONL
+	SpanBlame       = span.Blame
+	SetCellSpans    = experiments.SetCellSpans
+)
+
+// Event initiators. Every TraceEvent carries the mechanism that caused
+// it — a demand access, the OS load balancer, the AutoNUMA or khugepaged
+// daemon, the adaptive orchestrator, or allocator internals — so event
+// streams can be cut by cause as well as by kind.
+type (
+	// TraceInitiator identifies what caused an event.
+	TraceInitiator = trace.Initiator
+)
+
+// The initiator values, and the orchestrator's own journal event kinds.
+const (
+	InitDemand       = trace.InitDemand
+	InitOS           = trace.InitOS
+	InitAutoNUMA     = trace.InitAutoNUMA
+	InitKhugepaged   = trace.InitKhugepaged
+	InitOrchestrator = trace.InitOrchestrator
+	InitAlloc        = trace.InitAlloc
+
+	OrchDecision = trace.OrchDecision
+	OrchReweight = trace.OrchReweight
+)
+
+// TraceInitiators lists every initiator in emission-stable order.
+var TraceInitiators = trace.Initiators
+
+// The orchestrator's decision journal: one structured record per tick
+// (telemetry digest, per-thread rule verdicts, actions with modeled cost,
+// budget bank balance), read back with Orchestrator.Journal and rendered
+// by DecisionsTable.
+type (
+	// OrchestratorDecision is one tick's journal record.
+	OrchestratorDecision = orchestrator.Decision
+	// OrchestratorAction is one planned action with its modeled cost.
+	OrchestratorAction = orchestrator.Action
+	// OrchestratorThreadEval is one thread's rule evaluation in a tick.
+	OrchestratorThreadEval = orchestrator.ThreadEval
+	// DecisionsCell pairs a cell label with a journal for DecisionsTable.
+	DecisionsCell = report.DecisionsCell
+	// BlameCell pairs a cell label with blame rows for BlameTable.
+	BlameCell = report.BlameCell
+)
+
+// DecisionsTable renders decision journals as a report table; BlameTable
+// renders span blame attributions.
+var (
+	DecisionsTable = report.DecisionsTable
+	BlameTable     = report.BlameTable
+)
+
+// The orchestrator-under-serving experiment: serving machines A/B/C under
+// bursty arrivals, static versus adaptive placement, reporting the p999
+// delta attributable to online migration plus the span-based blame join
+// and the decision journal.
+type (
+	// ServeAdaptResult is the experiment's output grid.
+	ServeAdaptResult = experiments.ServeAdaptResult
+	// ServeAdaptCell is one (machine, static|adaptive) cell.
+	ServeAdaptCell = experiments.ServeAdaptCell
+)
+
+// ServeAdapt runs the orchestrator-under-serving experiment.
+var ServeAdapt = experiments.ServeAdapt

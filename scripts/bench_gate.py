@@ -33,7 +33,12 @@ Gated ratios (each "X_vs_scalar" is ns/op of X over ns/op of scalar/plain):
   adapt_overhead_vs_off — the placement orchestrator's fixed cost: the
   adapt steady cell with the daemon attached over the same cell without
   it. Present only when the bench output includes
-  BenchmarkOrchestratorOverhead.
+  BenchmarkOrchestratorOverhead;
+  spans_overhead_vs_off — request-span collection cost: the serving
+  experiment's fixed Tiny stream with span assembly on over the same
+  stream with it off. Span collection is observation-only in simulated
+  time, so this ratio is pure harness bookkeeping. Present only when the
+  bench output includes BenchmarkServeSpans.
 """
 import argparse
 import json
@@ -95,6 +100,13 @@ def ratios(ns, fig2_seconds):
         # ratio is the daemon's observation-and-planning overhead and must
         # stay near 1.
         r["adapt_overhead_vs_off"] = on / off
+    son = ns.get("BenchmarkServeSpans/on")
+    soff = ns.get("BenchmarkServeSpans/off")
+    if son is not None and soff is not None:
+        # Same serving stream with and without span assembly: simulated
+        # time is bit-identical either way, so the ratio is the harness's
+        # span-bookkeeping cost and must stay bounded.
+        r["spans_overhead_vs_off"] = son / soff
     if fig2_seconds is not None:
         # Seconds -> ns, over ns per scalar access: the probe's cost in
         # units of "scalar accesses", which transfers across machines.

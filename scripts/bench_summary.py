@@ -23,6 +23,11 @@ ops + thread_moves keys in extra) summarize per cell: accesses completed,
 local access ratio and the orchestrator's actions, under a top-level
 "adaptive" key.
 
+Span files (repro/spans/v1, written by -spans) summarize per cell under a
+top-level "spans" key: span counts by kind, total and mean service
+cycles, and the in-window kind/initiator event totals the blame join
+cuts by.
+
 CI regenerates this as BENCH_ci.json; the committed BENCH_pr4.json is one
 run over the PR's cal-scale fig2+profile sweep plus an sha tuning
 campaign.
@@ -38,6 +43,7 @@ def main():
     campaigns = {}
     serving = {}
     adaptive = {}
+    spans = {}
     for path in sys.argv[1:]:
         with open(path) as f:
             for line in f:
@@ -45,6 +51,22 @@ def main():
                 if not line:
                     continue
                 rec = json.loads(line)
+                if rec.get("schema") == "repro/spans/v1":
+                    cell = rec.get("cell") or "(unlabeled)"
+                    s = spans.setdefault(cell, {
+                        "spans": 0,
+                        "by_kind": {},
+                        "service_cycles": 0.0,
+                        "events": {},
+                    })
+                    s["spans"] += 1
+                    kind = rec.get("kind", "?")
+                    s["by_kind"][kind] = s["by_kind"].get(kind, 0) + 1
+                    if kind == "service":
+                        s["service_cycles"] += rec["end"] - rec["start"]
+                        for k, n in (rec.get("events") or {}).items():
+                            s["events"][k] = s["events"].get(k, 0) + n
+                    continue
                 if rec.get("schema") == "repro/tune/v1":
                     c = campaigns.setdefault(rec["campaign"], {
                         "trials": 0,
@@ -97,6 +119,11 @@ def main():
                         }
     for e in experiments.values():
         e["host_seconds"] = round(e["host_seconds"], 3)
+    for s in spans.values():
+        n = s["by_kind"].get("service", 0)
+        s["mean_service_cycles"] = round(s["service_cycles"] / n, 1) if n else None
+        if not s["events"]:
+            del s["events"]
     out = {
         "schema": "repro/bench-summary/v2",
         "experiments": {k: experiments[k] for k in sorted(experiments)},
@@ -107,6 +134,8 @@ def main():
         out["serving"] = {k: serving[k] for k in sorted(serving)}
     if adaptive:
         out["adaptive"] = {k: adaptive[k] for k in sorted(adaptive)}
+    if spans:
+        out["spans"] = {k: spans[k] for k in sorted(spans)}
     json.dump(out, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
 
