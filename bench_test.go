@@ -15,9 +15,15 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/numaop"
+	"repro/internal/query"
 	"repro/internal/report"
+	"repro/internal/tpch"
+	"repro/internal/vmm"
 )
 
 // benchScale selects the dataset scale from REPRO_SCALE.
@@ -297,5 +303,68 @@ func BenchmarkAccessPathFig2Cal(b *testing.B) {
 		if _, err := experiments.Fig2(experiments.Cal); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMPSMJoin compares the NUMA-aware MPSM sort-merge join against
+// the flowchart-tuned hash join on identical fixed tables (Machine B).
+// MPSM runs with the knobs that support it (Sparse + first touch +
+// tbbmalloc, daemons off — Interleave would scatter the chunks it
+// deliberately localizes); the hash join runs under TunedConfig. The
+// bench gate tracks mpsm_vs_hashjoin, the ns/op ratio of the two
+// sub-benchmarks, which is machine-independent because both operators
+// exercise the same simulator access path. Fixed scale (ignores
+// REPRO_SCALE) so gate runs are comparable.
+func BenchmarkMPSMJoin(b *testing.B) {
+	tables := datagen.CachedJoin(experiments.Cal.JoinR, datagen.DefaultJoinRatio, 17)
+	spec := query.JoinSpec{Tables: tables}
+	b.Run("hashjoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := machine.NewB()
+			m.Configure(machine.TunedConfig(m.Spec.HardwareThreads()))
+			if out := query.HashJoin(m, spec); out.Matches == 0 {
+				b.Fatal("hash join found no matches")
+			}
+		}
+	})
+	b.Run("mpsm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := machine.NewB()
+			cfg := machine.TunedConfig(m.Spec.HardwareThreads())
+			cfg.Policy = vmm.FirstTouch
+			m.Configure(cfg)
+			if out := numaop.MPSMJoin(m, spec); out.Matches == 0 {
+				b.Fatal("MPSM join found no matches")
+			}
+		}
+	})
+}
+
+// BenchmarkChunkedScan measures the TPC-H Q1 lineitem scan (Quickstep
+// profile, Machine B, identical knobs) with single-region vs per-node
+// chunked storage. The gate tracks chunked_scan_vs_single, the ns/op
+// ratio of the sub-benchmarks; the load phase happens once outside the
+// timed loop. Fixed scale (ignores REPRO_SCALE) so gate runs are
+// comparable.
+func BenchmarkChunkedScan(b *testing.B) {
+	db := tpch.GenerateCached(experiments.Cal.TPCHSF, 41)
+	for _, mode := range []struct {
+		name    string
+		chunked bool
+	}{{"single", false}, {"chunked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := machine.NewB()
+			cfg := machine.TunedConfig(m.Spec.HardwareThreads())
+			cfg.Policy = vmm.FirstTouch
+			m.Configure(cfg)
+			e := tpch.NewEngineStorage(tpch.ProfileByName("Quickstep"), m, db,
+				tpch.StorageOptions{Chunked: mode.chunked})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := e.RunQuery(1); r.Check == 0 {
+					b.Fatal("Q1 returned a zero checksum")
+				}
+			}
+		})
 	}
 }

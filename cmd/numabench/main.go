@@ -14,6 +14,7 @@
 //	numabench -experiment serve -scale cal -serve-requests 2000 -serve-util 0.8
 //	numabench -experiment serve -scale cal -spans spans.jsonl
 //	numabench -experiment serve-adapt -scale cal -adapt-period 2e6
+//	numabench -experiment numaware -scale cal
 //	numabench -validate results.jsonl
 //	numabench -validate spans.jsonl
 //	numabench -list

@@ -14,6 +14,7 @@
 //	tpchbench -sf 0.005                       # Figure 8 on all engines
 //	tpchbench -sf 0.005 -parallel 4           # same tables, less wall time
 //	tpchbench -sf 0.005 -engine MonetDB -q 5,18 -allocators
+//	tpchbench -sf 0.005 -chunked              # per-node chunked column storage
 //	tpchbench -sf 0.005 -json results.jsonl   # one record per harness run
 //	tpchbench -sf 0.005 -trace trace.json     # Chrome trace per harness
 //	tpchbench -validate results.jsonl
@@ -22,7 +23,7 @@
 // see internal/cli): -json appends one structured record per harness run
 // (schema repro/bench/v2, validate with either command's -validate),
 // -trace writes a Chrome trace-event file with one process per harness
-// run, -spans writes one request+service span per measured query (schema
+// run (records carry a storage label when -chunked is set), -spans writes one request+service span per measured query (schema
 // repro/spans/v1, observation-only — walls are bit-identical with it on
 // or off), and -cpuprofile/-memprofile capture host pprof profiles.
 // Per-query wall cycles land in the record's extra map as q1..q22.
@@ -98,6 +99,7 @@ func main() {
 	queriesFlag := flag.String("q", "", "comma-separated query numbers (default: all 22)")
 	allocators := flag.Bool("allocators", false, "sweep allocators instead of default-vs-tuned (needs -engine)")
 	warm := flag.Int("warm", 2, "warm runs per query")
+	chunked := flag.Bool("chunked", false, "per-node chunked column storage (internal/numaop) instead of single-region")
 	seed := flag.Uint64("seed", 41, "dataset seed")
 	parallel := flag.Int("parallel", 1, "harness worker count (0 = GOMAXPROCS); output is identical to -parallel 1")
 	progress := flag.Bool("progress", false, "report harness progress on stderr")
@@ -134,7 +136,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench: -allocators requires -engine")
 			os.Exit(2)
 		}
-		if err := sweepAllocators(runner, db, *engine, queries, *warm, shared); err != nil {
+		if err := sweepAllocators(runner, db, *engine, queries, *warm, storage(*chunked), shared); err != nil {
 			fatal(err)
 		}
 		if err := stopProfiles(); err != nil {
@@ -175,7 +177,7 @@ func main() {
 				THP:       p.Name == "DBMSx",
 			}
 		}
-		return runHarness(start, spec, p, cfg, db, *warm, queries,
+		return runHarness(start, spec, p, cfg, db, *warm, queries, storage(*chunked),
 			p.Name+"/"+which, map[string]string{"engine": p.Name, "config": which},
 			shared.Trace != "", shared.Spans != "")
 	})
@@ -219,12 +221,20 @@ func cellLabel(cell string) uint64 {
 	return h.Sum64()
 }
 
+// storage maps the -chunked flag to engine storage options.
+func storage(chunked bool) tpch.StorageOptions {
+	return tpch.StorageOptions{Chunked: chunked}
+}
+
 // runHarness executes one harness configuration over the query list,
 // optionally tracing its machine and assembling per-query spans.
 func runHarness(start time.Time, spec machine.Spec, p tpch.Profile, cfg machine.RunConfig,
-	db *tpch.DB, warm int, queries []int, cell string, labels map[string]string,
+	db *tpch.DB, warm int, queries []int, opts tpch.StorageOptions, cell string, labels map[string]string,
 	tracing, spansOn bool) (harnessCell, error) {
-	h := tpch.NewHarness(spec, p, cfg, db, warm)
+	h := tpch.NewHarnessStorage(spec, p, cfg, db, warm, opts)
+	if opts.Chunked {
+		labels["storage"] = "chunked"
+	}
 	if tracing {
 		cli.AttachTrace(h.Engine.M)
 	}
@@ -314,7 +324,7 @@ func writeOutputs(shared cli.Flags, cells []harnessCell) error {
 	return nil
 }
 
-func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int, shared cli.Flags) error {
+func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []int, warm int, opts tpch.StorageOptions, shared cli.Flags) error {
 	prof := tpch.ProfileByName(engine)
 	spec := machine.SpecA()
 	tab := &report.Table{Title: engine + " query latency by allocator (billion cycles)"}
@@ -332,7 +342,7 @@ func sweepAllocators(runner core.Runner, db *tpch.DB, engine string, queries []i
 			Allocator: names[i],
 			Seed:      1,
 		}
-		return runHarness(start, spec, prof, cfg, db, warm, queries,
+		return runHarness(start, spec, prof, cfg, db, warm, queries, opts,
 			prof.Name+"/"+names[i], map[string]string{"engine": prof.Name, "allocator": names[i]},
 			shared.Trace != "", shared.Spans != "")
 	})

@@ -73,7 +73,7 @@ func (m *Machine) autoNUMAPass(threads []*Thread) {
 	}
 	// Deterministic iteration order over the sample map.
 	vpns := make([]uint64, 0, len(m.samples))
-	for vpn := range m.samples {
+	for vpn := range m.samples { //rangecheck:ok keys sorted immediately below
 		vpns = append(vpns, vpn)
 	}
 	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })

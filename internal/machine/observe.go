@@ -189,7 +189,7 @@ type HotPage struct {
 func (v *Telemetry) HotPages() []HotPage {
 	m := v.m
 	vpns := make([]uint64, 0, len(m.samples))
-	for vpn := range m.samples {
+	for vpn := range m.samples { //rangecheck:ok keys sorted immediately below
 		vpns = append(vpns, vpn)
 	}
 	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })

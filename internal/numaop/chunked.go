@@ -1,0 +1,156 @@
+// Package numaop implements NUMA-aware query operators on the machine
+// simulator: per-node chunked column storage (the Chapel multi-ddata
+// design) and the massively-parallel sort-merge join of Albutiu et al.
+// (MPSM). Where the rest of the repository treats NUMA as something the
+// *configuration* fixes — placement, policy, allocator, AutoNUMA, THP —
+// this package builds operators that are NUMA-aware by construction, so
+// experiments can measure where the paper's application-agnostic knobs
+// stop being enough (the `numaware` experiment).
+//
+// The storage design follows the Chapel multi-ddata chip (SNIPPETS.md
+// §3): one storage chunk per NUMA domain instead of a single region,
+// with worker scheduling matched to chunk affinity. Its documented
+// pitfall — chunk-index arithmetic on the per-element access path made
+// dsiAccess ~8x slower — dictates the API shape: addressing is resolved
+// once per *extent* (Extents, ReadRange), never per element, and whole
+// chunk extents are fed to the simulator's batched run API.
+package numaop
+
+import "repro/internal/machine"
+
+// Extent is one contiguous piece of a chunked range: rows [Lo, Lo+Count)
+// living back-to-back at Addr inside chunk Chunk. Extents carry resolved
+// addresses so per-element code never recomputes chunk arithmetic.
+type Extent struct {
+	Chunk int
+	Addr  uint64
+	Lo    int
+	Count int
+}
+
+// ChunkedColumn is a fixed-width column of Rows elements split into
+// equally sized chunks, each chunk a separate simulated allocation —
+// typically one per NUMA node, first-touched by a worker running there.
+// The zero value is unusable; build with NewChunkedColumn, then have the
+// loading workers allocate their chunks and record them with SetBase.
+type ChunkedColumn struct {
+	Width uint64 // element width, bytes
+	Rows  int
+
+	chunkRows int // rows per chunk; the last chunk may be short
+	bases     []uint64
+}
+
+// NewChunkedColumn lays out a column of rows elements of width bytes over
+// the given number of chunks. Chunk bases start unset (zero); the loader
+// assigns them with SetBase after allocating each chunk on its node.
+func NewChunkedColumn(width uint64, rows, chunks int) *ChunkedColumn {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > rows && rows > 0 {
+		chunks = rows
+	}
+	per := (rows + chunks - 1) / chunks
+	if per < 1 {
+		per = 1
+	}
+	return &ChunkedColumn{
+		Width:     width,
+		Rows:      rows,
+		chunkRows: per,
+		bases:     make([]uint64, chunks),
+	}
+}
+
+// Chunks returns the chunk count.
+func (c *ChunkedColumn) Chunks() int { return len(c.bases) }
+
+// ChunkRange returns the global row range [lo, hi) stored in chunk ci.
+func (c *ChunkedColumn) ChunkRange(ci int) (lo, hi int) {
+	lo = ci * c.chunkRows
+	hi = lo + c.chunkRows
+	if hi > c.Rows {
+		hi = c.Rows
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ChunkBytes returns the allocation size of chunk ci.
+func (c *ChunkedColumn) ChunkBytes(ci int) uint64 {
+	lo, hi := c.ChunkRange(ci)
+	return uint64(hi-lo) * c.Width
+}
+
+// SetBase records the simulated base address of chunk ci, as allocated by
+// the loading worker that first-touches it.
+func (c *ChunkedColumn) SetBase(ci int, addr uint64) { c.bases[ci] = addr }
+
+// Base returns the simulated base address of chunk ci.
+func (c *ChunkedColumn) Base(ci int) uint64 { return c.bases[ci] }
+
+// ChunkOf returns the chunk index holding row i. Like Addr this divides,
+// so hot loops resolve it once per chunk (or per cursor window), not per
+// element.
+func (c *ChunkedColumn) ChunkOf(i int) int { return i / c.chunkRows }
+
+// Addr resolves the address of row i — the scalar, point-access path. It
+// performs the chunk-index division the Chapel chip warns about, so scans
+// must not call it per element; they use Extents or ReadRange instead.
+func (c *ChunkedColumn) Addr(i int) uint64 {
+	ci := i / c.chunkRows
+	return c.bases[ci] + uint64(i-ci*c.chunkRows)*c.Width
+}
+
+// Extents resolves rows [lo, hi) into chunk extents: all chunk-index
+// arithmetic for the range happens here, once, and the returned extents
+// carry ready-to-use addresses for the batched access path.
+func (c *ChunkedColumn) Extents(lo, hi int) []Extent {
+	if hi > c.Rows {
+		hi = c.Rows
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	first := lo / c.chunkRows
+	last := (hi - 1) / c.chunkRows
+	out := make([]Extent, 0, last-first+1)
+	for ci := first; ci <= last; ci++ {
+		clo, chi := c.ChunkRange(ci)
+		elo, ehi := lo, hi
+		if elo < clo {
+			elo = clo
+		}
+		if ehi > chi {
+			ehi = chi
+		}
+		out = append(out, Extent{
+			Chunk: ci,
+			Addr:  c.bases[ci] + uint64(elo-clo)*c.Width,
+			Lo:    elo,
+			Count: ehi - elo,
+		})
+	}
+	return out
+}
+
+// ReadRange charges sequential reads of rows [lo, hi): one batched
+// ReadRun per chunk extent. This is the whole-chunk fast path scans use.
+func (c *ChunkedColumn) ReadRange(t *machine.Thread, lo, hi int) {
+	for _, e := range c.Extents(lo, hi) {
+		t.ReadRun(e.Addr, c.Width, e.Count)
+	}
+}
+
+// WriteRange is the store analogue of ReadRange.
+func (c *ChunkedColumn) WriteRange(t *machine.Thread, lo, hi int) {
+	for _, e := range c.Extents(lo, hi) {
+		t.WriteRun(e.Addr, c.Width, e.Count)
+	}
+}

@@ -1,0 +1,203 @@
+package numaop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/machine"
+	"repro/internal/query"
+	"repro/internal/vmm"
+)
+
+func machines() map[string]func() *machine.Machine {
+	return map[string]func() *machine.Machine{
+		"A": machine.NewA,
+		"B": machine.NewB,
+		"C": machine.NewC,
+	}
+}
+
+// TestMPSMMatchesHashJoin is the subsystem's correctness anchor: across
+// seeds and all three paper machines, MPSM must produce the identical
+// match count and joined-key checksum as HashJoin and the plain-Go
+// reference — under both the tuned sparse pinning and the OS-default
+// migrating placement.
+func TestMPSMMatchesHashJoin(t *testing.T) {
+	for name, build := range map[string]func() *machine.Machine{"A": machine.NewA, "B": machine.NewB, "C": machine.NewC} {
+		for _, seed := range []uint64{1, 7, 23} {
+			tables := datagen.Join(1500, 16, seed)
+			wantMatches, wantSum := query.ReferenceJoin(tables)
+
+			for _, tuned := range []bool{false, true} {
+				m := build()
+				threads := m.Spec.HardwareThreads()
+				if tuned {
+					m.Configure(machine.RunConfig{
+						Threads:   threads,
+						Placement: machine.PlaceSparse,
+						Policy:    vmm.FirstTouch,
+						Allocator: "tbbmalloc",
+						Seed:      3,
+					})
+				} // else: DefaultConfig — PlaceNone, migrating threads.
+
+				got := MPSMJoin(m, query.JoinSpec{Tables: tables})
+				if got.Matches != wantMatches || got.Checksum != wantSum {
+					t.Errorf("machine %s seed %d tuned=%v: MPSM (%d, %d), want (%d, %d)",
+						name, seed, tuned, got.Matches, got.Checksum, wantMatches, wantSum)
+				}
+
+				hm := build()
+				hj := query.HashJoin(hm, query.JoinSpec{Tables: tables})
+				if got.Matches != hj.Matches || got.Checksum != hj.Checksum {
+					t.Errorf("machine %s seed %d tuned=%v: MPSM (%d, %d) != HashJoin (%d, %d)",
+						name, seed, tuned, got.Matches, got.Checksum, hj.Matches, hj.Checksum)
+				}
+			}
+		}
+	}
+}
+
+// checkPhaseSplit asserts the JoinOutcome invariant: the phase split must
+// account for the outcome's total measured cycles (exactly, but allow a
+// relative epsilon for float addition order).
+func checkPhaseSplit(t *testing.T, name string, out query.JoinOutcome) {
+	t.Helper()
+	sum := out.BuildCycles + out.ProbeCycles
+	total := out.Result.WallCycles
+	if total <= 0 {
+		t.Fatalf("%s: no time charged", name)
+	}
+	if math.Abs(sum-total) > 1e-6*total {
+		t.Errorf("%s: BuildCycles+ProbeCycles = %v does not account for WallCycles = %v",
+			name, sum, total)
+	}
+	if out.BuildCycles <= 0 || out.ProbeCycles <= 0 {
+		t.Errorf("%s: phase cycles must be positive: build %v probe %v",
+			name, out.BuildCycles, out.ProbeCycles)
+	}
+}
+
+// TestMPSMPhaseSplitInvariant covers the MPSM half of the JoinOutcome
+// invariant (the HashJoin half lives in internal/query).
+func TestMPSMPhaseSplitInvariant(t *testing.T) {
+	tables := datagen.Join(1500, 16, 11)
+	for name, build := range machines() {
+		out := MPSMJoin(build(), query.JoinSpec{Tables: tables})
+		checkPhaseSplit(t, "MPSM/"+name, out)
+	}
+}
+
+// TestMPSMDeterministic pins byte-for-byte repeatability of the whole
+// outcome, including cycle counts, across two fresh machines.
+func TestMPSMDeterministic(t *testing.T) {
+	tables := datagen.Join(1500, 16, 5)
+	a := MPSMJoin(machine.NewB(), query.JoinSpec{Tables: tables})
+	b := MPSMJoin(machine.NewB(), query.JoinSpec{Tables: tables})
+	if a != b {
+		t.Errorf("MPSM outcome not deterministic:\n  %+v\nvs\n  %+v", a, b)
+	}
+}
+
+// TestMPSMThreadCountInvariance: the answer must not depend on worker
+// count (the phase structure does, the result contract does not).
+func TestMPSMThreadCountInvariance(t *testing.T) {
+	tables := datagen.Join(1500, 16, 2)
+	wantMatches, wantSum := query.ReferenceJoin(tables)
+	for _, threads := range []int{1, 3, 8, 32} {
+		m := machine.NewB()
+		m.Configure(machine.RunConfig{
+			Threads:   threads,
+			Placement: machine.PlaceSparse,
+			Policy:    vmm.FirstTouch,
+			Allocator: "tbbmalloc",
+			Seed:      3,
+		})
+		out := MPSMJoin(m, query.JoinSpec{Tables: tables})
+		if out.Matches != wantMatches || out.Checksum != wantSum {
+			t.Errorf("threads=%d: (%d, %d), want (%d, %d)",
+				threads, out.Matches, out.Checksum, wantMatches, wantSum)
+		}
+	}
+}
+
+// TestChunkedColumnExtents pins the addressing contract: extents resolve
+// once per chunk crossing, cover the range exactly, and agree with the
+// scalar Addr fallback at every boundary.
+func TestChunkedColumnExtents(t *testing.T) {
+	c := NewChunkedColumn(16, 103, 4) // chunkRows = 26, last chunk short (25)
+	if c.Chunks() != 4 {
+		t.Fatalf("chunks = %d, want 4", c.Chunks())
+	}
+	for ci := 0; ci < 4; ci++ {
+		c.SetBase(ci, uint64(0x1000*(ci+1)))
+	}
+
+	lo0, hi0 := c.ChunkRange(3)
+	if lo0 != 78 || hi0 != 103 {
+		t.Fatalf("ChunkRange(3) = [%d,%d), want [78,103)", lo0, hi0)
+	}
+
+	exts := c.Extents(20, 90)
+	if len(exts) != 4 {
+		t.Fatalf("Extents(20,90) = %d extents, want 4", len(exts))
+	}
+	covered := 0
+	next := 20
+	for _, e := range exts {
+		if e.Lo != next {
+			t.Errorf("extent gap: got Lo %d, want %d", e.Lo, next)
+		}
+		if e.Addr != c.Addr(e.Lo) {
+			t.Errorf("extent addr %#x != Addr(%d) = %#x", e.Addr, e.Lo, c.Addr(e.Lo))
+		}
+		covered += e.Count
+		next = e.Lo + e.Count
+	}
+	if covered != 70 || next != 90 {
+		t.Errorf("extents cover %d rows ending at %d, want 70 ending at 90", covered, next)
+	}
+
+	if got := c.Extents(90, 20); got != nil {
+		t.Errorf("inverted range should yield no extents, got %v", got)
+	}
+	if got := c.Extents(100, 200); len(got) != 1 || got[0].Count != 3 {
+		t.Errorf("overlong range should clamp to tail, got %v", got)
+	}
+}
+
+// TestChunkedReadRangeChargesBatched checks ReadRange goes through the
+// batched path: it must charge identical cycles to hand-issued ReadRuns
+// per extent, and strictly fewer host operations than per-element reads.
+func TestChunkedReadRangeChargesBatched(t *testing.T) {
+	build := func() (*machine.Machine, *ChunkedColumn) {
+		m := machine.NewB()
+		c := NewChunkedColumn(16, 4096, m.Nodes())
+		m.Run(m.Nodes(), func(th *machine.Thread) {
+			ci := th.ID()
+			if ci >= c.Chunks() {
+				return
+			}
+			lo, hi := c.ChunkRange(ci)
+			c.SetBase(ci, th.Malloc(c.ChunkBytes(ci)))
+			c.WriteRange(th, lo, hi)
+		})
+		m.ResetCounters()
+		return m, c
+	}
+
+	m1, c1 := build()
+	r1 := m1.Run(1, func(th *machine.Thread) { c1.ReadRange(th, 0, c1.Rows) })
+
+	m2, c2 := build()
+	r2 := m2.Run(1, func(th *machine.Thread) {
+		for _, e := range c2.Extents(0, c2.Rows) {
+			th.ReadRun(e.Addr, c2.Width, e.Count)
+		}
+	})
+	if r1.WallCycles != r2.WallCycles {
+		t.Errorf("ReadRange cycles %v != manual per-extent ReadRun cycles %v",
+			r1.WallCycles, r2.WallCycles)
+	}
+}

@@ -174,7 +174,7 @@ func ReferenceAggregate(spec AggregationSpec) (groups int, checksum uint64) {
 	for _, r := range spec.Records {
 		byKey[r.Key] = append(byKey[r.Key], r.Val)
 	}
-	for _, vals := range byKey {
+	for _, vals := range byKey { //rangecheck:ok commutative wrapping-add checksum
 		if spec.Holistic {
 			checksum += medianOf(vals)
 		} else {

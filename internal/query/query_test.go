@@ -101,6 +101,30 @@ func TestHashJoinCorrect(t *testing.T) {
 	}
 }
 
+func TestHashJoinPhaseSplitInvariant(t *testing.T) {
+	// The JoinOutcome contract: the build/probe phase split must account
+	// for the outcome's total measured cycles (allowing float epsilon).
+	// MPSM's half of this invariant lives in internal/numaop, which cannot
+	// be imported from here without a cycle.
+	tables := datagen.Join(2000, 16, 6)
+	for _, threads := range []int{1, 8, 32} {
+		out := HashJoin(testMachine(threads), JoinSpec{Tables: tables})
+		sum := out.BuildCycles + out.ProbeCycles
+		total := out.Result.WallCycles
+		if total <= 0 {
+			t.Fatalf("threads=%d: no time charged", threads)
+		}
+		if diff := sum - total; diff > 1e-6*total || diff < -1e-6*total {
+			t.Errorf("threads=%d: BuildCycles+ProbeCycles = %v does not account for WallCycles = %v",
+				threads, sum, total)
+		}
+		if out.BuildCycles <= 0 || out.ProbeCycles <= 0 {
+			t.Errorf("threads=%d: phase cycles must be positive: build %v probe %v",
+				threads, out.BuildCycles, out.ProbeCycles)
+		}
+	}
+}
+
 func TestJoinProbeDominates(t *testing.T) {
 	// With |S| = 16|R| the probe phase should take most of the time.
 	tables := datagen.Join(1000, 16, 9)

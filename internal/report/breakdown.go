@@ -69,6 +69,29 @@ func BreakdownTable(title string, cols ...BreakdownColumn) *Table {
 	return t
 }
 
+// RemoteDRAMShare returns the fraction of a profile's attributed cycles
+// spent in the dram_remote_* buckets — the scalar the numaware experiment
+// gates chunked storage on (a lower share means the operator kept its
+// accesses on the local node). Returns 0 for a nil or empty profile.
+func RemoteDRAMShare(p *machine.Profile) float64 {
+	if p == nil {
+		return 0
+	}
+	totals := p.Totals()
+	var sum, remote float64
+	for b, v := range totals {
+		sum += v
+		switch machine.Bucket(b) {
+		case machine.BucketDRAMRemote1, machine.BucketDRAMRemote2, machine.BucketDRAMRemote3:
+			remote += v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return remote / sum
+}
+
 // NodeMatrixTable renders a profile's N×N node access matrix numastat
 // style: row i column j counts DRAM accesses issued from node i served by
 // memory on node j, with a local-access-ratio column.

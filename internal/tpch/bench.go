@@ -14,14 +14,21 @@ type Harness struct {
 }
 
 // NewHarness builds a machine from spec, configures it, generates (or
-// reuses) a database and loads it into a fresh engine.
+// reuses) a database and loads it into a fresh engine with the default
+// single-region storage.
 func NewHarness(spec machine.Spec, prof Profile, cfg machine.RunConfig, db *DB, warmRuns int) *Harness {
+	return NewHarnessStorage(spec, prof, cfg, db, warmRuns, StorageOptions{})
+}
+
+// NewHarnessStorage is NewHarness with an explicit storage layout
+// (tpchbench -chunked).
+func NewHarnessStorage(spec machine.Spec, prof Profile, cfg machine.RunConfig, db *DB, warmRuns int, opts StorageOptions) *Harness {
 	m := machine.New(spec)
 	m.Configure(cfg)
 	if warmRuns < 1 {
 		warmRuns = 1
 	}
-	return &Harness{Engine: NewEngine(prof, m, db), WarmRuns: warmRuns}
+	return &Harness{Engine: NewEngineStorage(prof, m, db, opts), WarmRuns: warmRuns}
 }
 
 // Measure runs query q cold once plus WarmRuns warm executions and returns

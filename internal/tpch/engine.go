@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/numaop"
 )
 
 // Profile captures the architectural axes on which the five evaluated
@@ -122,12 +123,22 @@ var columnWidths = map[string]map[string]uint64{
 	},
 }
 
-// tableMem is a table's simulated storage image.
+// tableMem is a table's simulated storage image: either one contiguous
+// region per column/row layout (the default, matching the paper's
+// engines) or per-node chunks (chunked.go).
 type tableMem struct {
 	rows     int
 	rowWidth uint64
 	rowBase  uint64            // row layout base (row stores)
 	colBase  map[string]uint64 // per-column bases (column stores)
+
+	// Chunked storage (nil in single-region mode). layout carries the
+	// shared row->chunk geometry; every column of a table splits at the
+	// same rows, so one layout serves them all.
+	layout   *numaop.ChunkedColumn
+	colChunk map[string]*numaop.ChunkedColumn
+	rowChunk *numaop.ChunkedColumn
+	colNames []string // sorted, for deterministic cursor refills
 }
 
 // Engine executes TPC-H queries on a machine under a profile.
@@ -142,6 +153,9 @@ type Engine struct {
 	ringPos    int
 	loadCycles float64
 	wall       float64 // accumulated wall cycles of the running query
+
+	chunked bool         // per-node chunked storage (chunked.go)
+	cursors []scanCursor // per-thread chunk cursors for scalar Scan
 }
 
 // chunk is one in-flight intermediate buffer.
@@ -150,13 +164,19 @@ type chunk struct {
 	size uint64
 }
 
-// NewEngine loads db into m's simulated memory under the given profile.
-// Loading is single-threaded (a restore/import), so First Touch places the
-// database on the loader's node — the starting point of the paper's
-// placement story.
+// NewEngine loads db into m's simulated memory under the given profile,
+// with the default single-region storage. See NewEngineStorage for the
+// per-node chunked layout.
 func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
-	e := &Engine{Prof: prof, M: m, DB: db, tables: map[string]*tableMem{}}
-	counts := map[string]int{
+	return NewEngineStorage(prof, m, db, StorageOptions{})
+}
+
+// tableOrder returns the table names and row counts in sorted order:
+// map iteration order would vary the allocation sequence run to run,
+// perturbing simulated addresses and breaking bit-for-bit
+// reproducibility.
+func tableOrder(db *DB) (names []string, counts map[string]int) {
+	counts = map[string]int{
 		"lineitem": len(db.Lineitems),
 		"orders":   len(db.Orders),
 		"customer": len(db.Customers),
@@ -164,23 +184,36 @@ func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
 		"partsupp": len(db.PartSupps),
 		"supplier": len(db.Suppliers),
 	}
-	// Load in sorted table/column order: map iteration order would vary the
-	// allocation sequence run to run, perturbing simulated addresses and
-	// breaking bit-for-bit reproducibility.
-	names := make([]string, 0, len(counts))
-	for name := range counts {
+	names = make([]string, 0, len(counts))
+	for name := range counts { //rangecheck:ok sorted immediately below
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names, counts
+}
+
+// sortedCols returns a table's column names in sorted order (same
+// map-order rationale as tableOrder).
+func sortedCols(widths map[string]uint64) []string {
+	cols := make([]string, 0, len(widths))
+	for col := range widths { //rangecheck:ok sorted immediately below
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// loadSingle loads the database as one contiguous region per column (or
+// per row layout). Loading is single-threaded (a restore/import), so
+// First Touch places the database on the loader's node — the starting
+// point of the paper's placement story.
+func (e *Engine) loadSingle(names []string, counts map[string]int) {
+	m := e.M
 	res := m.Run(1, func(t *machine.Thread) {
 		for _, name := range names {
 			rows := counts[name]
 			widths := columnWidths[name]
-			cols := make([]string, 0, len(widths))
-			for col := range widths {
-				cols = append(cols, col)
-			}
-			sort.Strings(cols)
+			cols := sortedCols(widths)
 			tm := &tableMem{rows: rows, colBase: map[string]uint64{}}
 			for _, col := range cols {
 				w := widths[col]
@@ -205,17 +238,27 @@ func NewEngine(prof Profile, m *machine.Machine, db *DB) *Engine {
 		}
 	})
 	e.loadCycles = res.WallCycles
-	e.allocTick = make([]uint64, 256)
-	e.ring = make([]chunk, 64)
-	return e
 }
 
 // Scan charges one row's worth of reads for the given columns, plus the
 // engine's per-tuple interpretation cost and occasional bookkeeping
-// allocations.
+// allocations. With chunked storage, point addressing goes through a
+// per-thread cursor (chunked.go) so chunk-index arithmetic amortizes over
+// the cursor's chunk window instead of recurring per element.
 func (e *Engine) Scan(t *machine.Thread, table string, cols []string, i int) {
 	tm := e.tables[table]
-	if e.Prof.Columnar {
+	if e.chunked {
+		cur := e.cursor(t, table, tm, i)
+		if e.Prof.Columnar {
+			widths := columnWidths[table]
+			for _, c := range cols {
+				w := widths[c]
+				t.Read(cur.bases[c]+uint64(i)*w, w)
+			}
+		} else {
+			t.Read(cur.rowBase+uint64(i)*tm.rowWidth, tm.rowWidth)
+		}
+	} else if e.Prof.Columnar {
 		widths := columnWidths[table]
 		for _, c := range cols {
 			w := widths[c]
@@ -236,20 +279,24 @@ func (e *Engine) maybeAlloc(t *machine.Thread) {
 	tick := &e.allocTick[t.ID()&255]
 	*tick++
 	if *tick%uint64(e.Prof.AllocEvery) == 0 {
-		// A vectorized intermediate buffer. Buffers flow between workers
-		// (exchange operators), so the thread freeing a buffer is rarely
-		// the one that allocated it — the cross-thread pattern that
-		// separates tbbmalloc from thread-cache designs at high
-		// parallelism.
-		size := uint64(512 << (*tick % 3)) // 512B / 1KiB / 2KiB
-		addr := t.Malloc(size)
-		t.Write(addr, size)
-		old := e.ring[e.ringPos]
-		e.ring[e.ringPos] = chunk{addr: addr, size: size}
-		e.ringPos = (e.ringPos + 1) % len(e.ring)
-		if old.size > 0 {
-			t.Free(old.addr, old.size)
-		}
+		e.allocOnce(t, *tick)
+	}
+}
+
+// allocOnce is one bookkeeping allocation at tick value tickVal: a
+// vectorized intermediate buffer. Buffers flow between workers (exchange
+// operators), so the thread freeing a buffer is rarely the one that
+// allocated it — the cross-thread pattern that separates tbbmalloc from
+// thread-cache designs at high parallelism.
+func (e *Engine) allocOnce(t *machine.Thread, tickVal uint64) {
+	size := uint64(512 << (tickVal % 3)) // 512B / 1KiB / 2KiB
+	addr := t.Malloc(size)
+	t.Write(addr, size)
+	old := e.ring[e.ringPos]
+	e.ring[e.ringPos] = chunk{addr: addr, size: size}
+	e.ringPos = (e.ringPos + 1) % len(e.ring)
+	if old.size > 0 {
+		t.Free(old.addr, old.size)
 	}
 }
 

@@ -48,14 +48,13 @@ func (e *Engine) q1() int64 {
 	cols := []string{"shipdate", "returnflag", "linestatus", "quantity", "extendedprice", "discount", "tax"}
 	type agg struct{ qty, price, disc, charge, count int64 }
 	var global [6]agg
-	e.Par(len(db.Lineitems), func(t *machine.Thread, lo, hi int) {
+	e.ParTable("lineitem", func(t *machine.Thread, lo, hi int) {
 		var local [6]agg
 		var inter interBuf
-		for i := lo; i < hi; i++ {
-			e.Scan(t, "lineitem", cols, i)
+		e.ScanBlocks(t, "lineitem", cols, lo, hi, func(i int) {
 			l := &db.Lineitems[i]
 			if l.ShipDate > cutoff {
-				continue
+				return
 			}
 			g := &local[l.ReturnFlag*2+l.LineStatus]
 			g.qty += int64(l.Quantity)
@@ -64,7 +63,7 @@ func (e *Engine) q1() int64 {
 			g.charge += l.Revenue() * int64(100+l.Tax)
 			g.count++
 			e.Emit(t, &inter, 24)
-		}
+		})
 		inter.release(t)
 		for i := range global {
 			global[i].qty += local[i].qty
@@ -120,7 +119,7 @@ func (e *Engine) q2() int64 {
 				local[k] = ps.SupplyCost
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative min-merge
 			if c, ok := minCost[k]; !ok || v < c {
 				minCost[k] = v
 			}
@@ -128,7 +127,7 @@ func (e *Engine) q2() int64 {
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k, v := range minCost {
+	for k, v := range minCost { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k) + v
 	}
 	return check
@@ -170,7 +169,7 @@ func (e *Engine) q3() int64 {
 				local[uint64(l.OrderKey)] += l.Revenue()
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			revenue[k] += v
 		}
 		mergeCharge(t, len(local))
@@ -187,7 +186,7 @@ func topSum(m map[uint64]int64, n int) int64 {
 		v int64
 	}
 	all := make([]kv, 0, len(m))
-	for k, v := range m {
+	for k, v := range m { //rangecheck:ok entries sorted immediately below
 		all = append(all, kv{k, v})
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -272,13 +271,13 @@ func (e *Engine) q5() int64 {
 				}
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			nationRev[k] += v
 		}
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k, v := range nationRev {
+	for k, v := range nationRev { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k) + v/10000
 	}
 	return check
@@ -292,15 +291,14 @@ func (e *Engine) q6() int64 {
 	hi := int32(MkDate(1995, 1, 1))
 	var revenue int64
 	cols := []string{"shipdate", "discount", "quantity", "extendedprice"}
-	e.Par(len(db.Lineitems), func(t *machine.Thread, llo, lhi int) {
+	e.ParTable("lineitem", func(t *machine.Thread, llo, lhi int) {
 		var local int64
-		for i := llo; i < lhi; i++ {
-			e.Scan(t, "lineitem", cols, i)
+		e.ScanBlocks(t, "lineitem", cols, llo, lhi, func(i int) {
 			l := &db.Lineitems[i]
 			if l.ShipDate >= lo && l.ShipDate < hi && l.Discount >= 5 && l.Discount <= 7 && l.Quantity < 24 {
 				local += l.ExtendedPrice * int64(l.Discount)
 			}
-		}
+		})
 		revenue += local
 		mergeCharge(t, 1)
 	})
@@ -338,13 +336,13 @@ func (e *Engine) q7() int64 {
 				local[key] += l.Revenue()
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			vol[k] += v
 		}
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k, v := range vol {
+	for k, v := range vol { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k&0xffff) + v/10000
 	}
 	return check
@@ -396,7 +394,7 @@ func (e *Engine) q8() int64 {
 				s.num += l.Revenue()
 			}
 		}
-		for y, s := range local {
+		for y, s := range local { //rangecheck:ok commutative += merge of num/den
 			g := byYear[y]
 			if g == nil {
 				g = &share{}
@@ -408,7 +406,7 @@ func (e *Engine) q8() int64 {
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for y, s := range byYear {
+	for y, s := range byYear { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(y) + s.num/10000 + s.den/10000
 	}
 	return check
@@ -454,13 +452,13 @@ func (e *Engine) q9() int64 {
 			amount := l.Revenue()/100 - cost*int64(l.Quantity)
 			local[uint64(nation)<<32|uint64(year)] += amount
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			profit[k] += v
 		}
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k, v := range profit {
+	for k, v := range profit { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k&0xffff) + v/1000
 	}
 	return check
@@ -489,7 +487,7 @@ func (e *Engine) q10() int64 {
 				}
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			custRev[k] += v
 		}
 		mergeCharge(t, len(local))
@@ -519,7 +517,7 @@ func (e *Engine) q11() int64 {
 			local[uint64(ps.PartKey)] += v
 			localTotal += v
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			value[k] += v
 		}
 		total += localTotal
@@ -528,7 +526,7 @@ func (e *Engine) q11() int64 {
 	// Threshold fraction 0.0001 / SF, as in the spec.
 	threshold := int64(float64(total) * 0.0001 / db.SF)
 	var check int64
-	for k, v := range value {
+	for k, v := range value { //rangecheck:ok threshold fixed before loop; commutative add
 		if v > threshold {
 			check += int64(k) + v/10000
 		}

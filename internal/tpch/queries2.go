@@ -62,7 +62,7 @@ func (e *Engine) q13() int64 {
 			}
 			local[uint64(o.CustKey)]++
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			counts[k] += v
 		}
 		mergeCharge(t, len(local))
@@ -73,7 +73,7 @@ func (e *Engine) q13() int64 {
 		hist[counts[i]]++
 	}
 	var check int64
-	for c, n := range hist {
+	for c, n := range hist { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(c)*n + n
 	}
 	return check
@@ -123,19 +123,19 @@ func (e *Engine) q15() int64 {
 				local[uint64(l.SuppKey)] += l.Revenue()
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			rev[k] += v
 		}
 		mergeCharge(t, len(local))
 	})
 	var maxRev int64
-	for _, v := range rev {
+	for _, v := range rev { //rangecheck:ok max reduction, order-independent
 		if v > maxRev {
 			maxRev = v
 		}
 	}
 	var check int64
-	for k, v := range rev {
+	for k, v := range rev { //rangecheck:ok commutative wrapping-add checksum
 		if v == maxRev {
 			check += int64(k) + v/10000
 		}
@@ -177,7 +177,7 @@ func (e *Engine) q16() int64 {
 			}
 			local[bucket{p.Brand, p.TypeID, p.Size, ps.SuppKey}] = true
 		}
-		for k := range local {
+		for k := range local { //rangecheck:ok set union, order-independent
 			distinct[k] = true
 		}
 		mergeCharge(t, len(local))
@@ -222,7 +222,7 @@ func (e *Engine) q17() int64 {
 			a.qty += int64(l.Quantity)
 			a.n++
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge into qa
 			g := avg[k]
 			if g == nil {
 				g = &qa{}
@@ -366,7 +366,7 @@ func (e *Engine) q20() int64 {
 			}
 			local[uint64(l.PartKey)<<32|uint64(l.SuppKey)] += int64(l.Quantity)
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			shipped[k] += v
 		}
 		mergeCharge(t, len(local))
@@ -389,13 +389,13 @@ func (e *Engine) q20() int64 {
 				local[ps.SuppKey] = true
 			}
 		}
-		for k := range local {
+		for k := range local { //rangecheck:ok set union, order-independent
 			qualifying[k] = true
 		}
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k := range qualifying {
+	for k := range qualifying { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k)
 	}
 	return check + int64(len(qualifying))<<20
@@ -446,13 +446,13 @@ func (e *Engine) q21() int64 {
 				}
 			}
 		}
-		for k, v := range local {
+		for k, v := range local { //rangecheck:ok commutative += merge
 			waits[k] += v
 		}
 		mergeCharge(t, len(local))
 	})
 	var check int64
-	for k, v := range waits {
+	for k, v := range waits { //rangecheck:ok commutative wrapping-add checksum
 		check += int64(k) + v*7
 	}
 	return check

@@ -268,3 +268,102 @@ func TestProfileByNamePanics(t *testing.T) {
 	}()
 	ProfileByName("SQLite")
 }
+
+func newChunkedTestEngine(t *testing.T, prof Profile, db *DB) *Engine {
+	t.Helper()
+	m := machine.NewB()
+	cfg := testCfg()
+	cfg.Policy = vmm.FirstTouch // chunked placement relies on first touch
+	m.Configure(cfg)
+	return NewEngineStorage(prof, m, db, StorageOptions{Chunked: true})
+}
+
+func TestChunkedStorageChecksumInvariant(t *testing.T) {
+	// Chunked per-node storage changes cost, never answers: every query's
+	// checksum must match the single-region engine on a columnar and a
+	// row-store profile.
+	db := testDB(t)
+	for _, name := range []string{"Quickstep", "MySQL"} {
+		prof := ProfileByName(name)
+		single := newTestEngine(t, prof, db)
+		chunked := newChunkedTestEngine(t, prof, db)
+		if !chunked.Chunked() || single.Chunked() {
+			t.Fatal("storage mode flags wrong")
+		}
+		for q := 1; q <= NumQueries; q++ {
+			sc := single.RunQuery(q).Check
+			cc := chunked.RunQuery(q).Check
+			if sc != cc {
+				t.Errorf("%s Q%d: chunked check %d != single %d", name, q, cc, sc)
+			}
+		}
+	}
+}
+
+func TestChunkedStorageDeterministic(t *testing.T) {
+	db := testDB(t)
+	run := func() []QueryResult {
+		e := newChunkedTestEngine(t, ProfileByName("Quickstep"), db)
+		var out []QueryResult
+		for q := 1; q <= NumQueries; q++ {
+			out = append(out, e.RunQuery(q))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("Q%d not deterministic: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestChunkedLoadIsParallelAcrossNodes(t *testing.T) {
+	// The chunked loader runs one first-touching worker per node, so its
+	// load phase should beat the single-threaded restore on a machine
+	// where the database spans several chunks.
+	db := testDB(t)
+	prof := ProfileByName("Quickstep")
+	single := newTestEngine(t, prof, db)
+	chunked := newChunkedTestEngine(t, prof, db)
+	if chunked.LoadCycles() >= single.LoadCycles() {
+		t.Errorf("chunked load (%v cycles) should beat single-threaded load (%v cycles)",
+			chunked.LoadCycles(), single.LoadCycles())
+	}
+}
+
+func TestScanBlocksSingleModeIsScanLoop(t *testing.T) {
+	// In single-region mode ScanBlocks must be bit-identical to the
+	// per-row Scan loop the queries always ran — same cycles, same
+	// allocator state — so converting queries to it cannot shift the
+	// default path.
+	db := testDB(t)
+	prof := ProfileByName("Quickstep")
+	cols := []string{"shipdate", "discount"}
+	n := len(db.Lineitems)
+
+	loop := newTestEngine(t, prof, db)
+	loop.M.ResetCounters()
+	rLoop := loop.M.Run(4, func(th *machine.Thread) {
+		lo, hi := n*th.ID()/4, n*(th.ID()+1)/4
+		for i := lo; i < hi; i++ {
+			loop.Scan(th, "lineitem", cols, i)
+		}
+	})
+
+	blocks := newTestEngine(t, prof, db)
+	blocks.M.ResetCounters()
+	rBlocks := blocks.M.Run(4, func(th *machine.Thread) {
+		lo, hi := n*th.ID()/4, n*(th.ID()+1)/4
+		blocks.ScanBlocks(th, "lineitem", cols, lo, hi, func(int) {})
+	})
+
+	if rLoop.WallCycles != rBlocks.WallCycles {
+		t.Errorf("single-mode ScanBlocks cycles %v != Scan loop cycles %v",
+			rBlocks.WallCycles, rLoop.WallCycles)
+	}
+	if rLoop.Counters != rBlocks.Counters {
+		t.Errorf("single-mode ScanBlocks counters diverge from Scan loop:\n%+v\nvs\n%+v",
+			rBlocks.Counters, rLoop.Counters)
+	}
+}

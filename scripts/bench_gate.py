@@ -38,7 +38,14 @@ Gated ratios (each "X_vs_scalar" is ns/op of X over ns/op of scalar/plain):
   experiment's fixed Tiny stream with span assembly on over the same
   stream with it off. Span collection is observation-only in simulated
   time, so this ratio is pure harness bookkeeping. Present only when the
-  bench output includes BenchmarkServeSpans.
+  bench output includes BenchmarkServeSpans;
+  mpsm_vs_hashjoin — the NUMA-aware MPSM sort-merge join over the
+  flowchart-tuned hash join on identical fixed tables: both sides run
+  the same simulator access path, so the ratio transfers across host
+  CPUs. Present only when the bench output includes BenchmarkMPSMJoin;
+  chunked_scan_vs_single — the TPC-H Q1 scan on per-node chunked storage
+  over the same scan on a single region, identical knobs. Present only
+  when the bench output includes BenchmarkChunkedScan.
 """
 import argparse
 import json
@@ -107,6 +114,19 @@ def ratios(ns, fig2_seconds):
         # time is bit-identical either way, so the ratio is the harness's
         # span-bookkeeping cost and must stay bounded.
         r["spans_overhead_vs_off"] = son / soff
+    hj = ns.get("BenchmarkMPSMJoin/hashjoin")
+    mp = ns.get("BenchmarkMPSMJoin/mpsm")
+    if hj is not None and mp is not None:
+        # NUMA-aware sort-merge join vs the tuned hash join on identical
+        # fixed tables: a regression to either operator's simulated-work
+        # shape moves this ratio.
+        r["mpsm_vs_hashjoin"] = mp / hj
+    ss = ns.get("BenchmarkChunkedScan/single")
+    cs = ns.get("BenchmarkChunkedScan/chunked")
+    if ss is not None and cs is not None:
+        # Per-node chunked storage vs single-region for the same scan:
+        # chunked must keep its batched, extent-resolved access pattern.
+        r["chunked_scan_vs_single"] = cs / ss
     if fig2_seconds is not None:
         # Seconds -> ns, over ns per scalar access: the probe's cost in
         # units of "scalar accesses", which transfers across machines.

@@ -1,0 +1,241 @@
+// Command rangecheck flags `for ... range` statements over map values in
+// the simulation-path packages. Go randomizes map iteration order, so a
+// map range on any path that charges cycles, allocates, or emits records
+// is a determinism bug waiting to happen — the simulator promises
+// byte-identical output for a fixed seed at any -parallel setting.
+//
+// Sites that have been audited (iteration order provably cannot reach an
+// observable output, e.g. keys are collected and sorted before use) are
+// opted out with a comment on the range line or the line above:
+//
+//	//rangecheck:ok <why the order cannot leak>
+//
+// Usage: go run ./scripts/rangecheck [package dirs...]
+// With no args it checks the default simulation-path packages. Exits
+// nonzero if any unaudited map range is found. Stdlib-only by design:
+// the module has no dependencies and this tool must not add one.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultDirs are the packages whose hot paths feed measured results.
+var defaultDirs = []string{
+	"./internal/machine",
+	"./internal/query",
+	"./internal/tpch",
+	"./internal/numaop",
+	"./internal/experiments",
+}
+
+const modulePath = "repro"
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	im := newSourceImporter(root)
+	var findings []string
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fatal(fmt.Errorf("rangecheck: %s is outside the module", dir))
+		}
+		path := modulePath + "/" + filepath.ToSlash(rel)
+		f, err := im.check(path)
+		if err != nil {
+			fatal(fmt.Errorf("rangecheck: %s: %v", dir, err))
+		}
+		findings = append(findings, f...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rangecheck: %d unaudited map range(s); add //rangecheck:ok <reason> after auditing\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("rangecheck: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// sourceImporter type-checks module packages from source, recursively.
+// Standard-library imports go through the stdlib source importer; a
+// stdlib package that fails to import degrades to an empty placeholder
+// (type checking stays tolerant — see the Error hook in check).
+type sourceImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func newSourceImporter(root string) *sourceImporter {
+	fset := token.NewFileSet()
+	return &sourceImporter{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+}
+
+func (im *sourceImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		if _, err := im.check(path); err != nil {
+			return nil, err
+		}
+		return im.pkgs[path], nil
+	}
+	pkg, err := im.std.Import(path)
+	if err != nil {
+		// Tolerate: the placeholder keeps checking going; expressions
+		// depending on it stay untyped and are reported as unresolved.
+		pkg = types.NewPackage(path, filepath.Base(path))
+		pkg.MarkComplete()
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one module package and scans it for unaudited map
+// ranges, returning the findings.
+func (im *sourceImporter) check(path string) ([]string, error) {
+	if _, ok := im.pkgs[path]; ok {
+		return nil, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(strings.TrimPrefix(path, modulePath+"/")))
+	files, err := parseDir(im.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{
+		Importer: im,
+		Error:    func(error) {}, // tolerant: placeholders above cause benign errors
+	}
+	pkg, _ := conf.Check(path, im.fset, files, info)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s produced no package", path)
+	}
+	im.pkgs[path] = pkg
+
+	var findings []string
+	for _, f := range files {
+		ok := auditedLines(im.fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, isRange := n.(*ast.RangeStmt)
+			if !isRange {
+				return true
+			}
+			pos := im.fset.Position(rs.Pos())
+			if ok[pos.Line] || ok[pos.Line-1] {
+				return true
+			}
+			tv := info.TypeOf(rs.X)
+			if tv == nil {
+				fmt.Fprintf(os.Stderr, "rangecheck: warning: %s:%d: range expression did not resolve\n",
+					relPath(im.root, pos.Filename), pos.Line)
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); isMap {
+				findings = append(findings, fmt.Sprintf("%s:%d: range over map %s",
+					relPath(im.root, pos.Filename), pos.Line, types.TypeString(tv, nil)))
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+func relPath(root, p string) string {
+	if rel, err := filepath.Rel(root, p); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return p
+}
+
+// parseDir parses every non-test .go file in dir, with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// auditedLines returns the lines carrying a rangecheck:ok opt-out.
+func auditedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "rangecheck:ok") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
