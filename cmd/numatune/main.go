@@ -55,7 +55,7 @@ func main() {
 	var (
 		strategy = flag.String("strategy", "sha", "campaign strategy: grid, descent or sha")
 		workload = flag.String("workload", "W1", "workload id: W1, W3, or WS (open-loop serving, minimizes p99 latency)")
-		mc       = flag.String("machine", "A", "simulated machine: A, B or C")
+		mc       = flag.String("machine", "A", "simulated machine: A-C (paper presets), D (8-node chiplet) or E (16-node mesh)")
 		scale    = flag.String("scale", "cal", "dataset scale: tiny, small, cal or default")
 		threads  = flag.Int("threads", 0, "worker threads per trial (0 = the machine's hardware threads)")
 		seed     = flag.Uint64("seed", 1, "RNG seed for every trial")
@@ -73,6 +73,7 @@ func main() {
 	var shared cli.Flags
 	shared.RegisterNoTrace(flag.CommandLine)
 	flag.Parse()
+	shared.ApplyMachineFlags()
 
 	if shared.Validate != "" {
 		n, err := cli.ValidateTuneJSONL(shared.Validate)

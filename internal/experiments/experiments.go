@@ -97,7 +97,7 @@ var Default = Scale{
 	AdaptPartKB:    8_192,
 }
 
-// machineFor builds a fresh machine by letter (A, B, C). When cell
+// machineFor builds a fresh machine by letter (A-E). When cell
 // tracing is on it attaches an event recorder and periodic counter
 // snapshots, so every grid cell's record carries its event stream.
 func machineFor(letter string) *machine.Machine {
@@ -109,6 +109,10 @@ func machineFor(letter string) *machine.Machine {
 		m = machine.NewB()
 	case "C":
 		m = machine.NewC()
+	case "D":
+		m = machine.NewD()
+	case "E":
+		m = machine.NewE()
 	default:
 		panic("experiments: unknown machine " + letter)
 	}

@@ -318,8 +318,8 @@ func TestFig6W3Shape(t *testing.T) {
 	}
 	def := r.Cell("ptmalloc", vmm.FirstTouch)
 	tbb := r.Cell("tbbmalloc", vmm.Interleave)
-	if (def-tbb)/def < 0.25 {
-		t.Errorf("W3 gain = %v, want > 25%%", (def-tbb)/def)
+	if (def-tbb)/def < 0.2 {
+		t.Errorf("W3 gain = %v, want > 20%%", (def-tbb)/def)
 	}
 }
 
@@ -434,7 +434,7 @@ func TestMachineForPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	machineFor("D")
+	machineFor("Z")
 }
 
 func TestAblationShape(t *testing.T) {

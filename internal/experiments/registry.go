@@ -250,6 +250,17 @@ func buildRegistry() map[string]Descriptor {
 			},
 		},
 		{
+			Id: "bigtopo", Title: "Flowchart regret on large topologies (chiplet D, grid-mesh E)",
+			Artifact: "extension", DefaultScale: "cal",
+			run: func(s Scale, o Options) (*Result, error) {
+				r, err := BigTopo(s)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Tables: []*report.Table{r.RenderRegret()}, Records: r.Records}, nil
+			},
+		},
+		{
 			Id: "serve", Title: "Open-loop serving: tail latency, SLO attainment and p999 attribution",
 			Artifact: "extension", DefaultScale: "cal",
 			Options: []string{"serve-requests", "serve-util"},

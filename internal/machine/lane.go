@@ -1,0 +1,210 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// The round-based scheduler isolates everything a thread's quantum can
+// touch outside its own NUMA node into effect buffers that are merged in a
+// fixed order at the round boundary:
+//
+//   - counters, the DRAM contention window and AutoNUMA samples accumulate
+//     per thread (Thread.counters, dramDelta, sampleDelta) and merge in
+//     thread-id order;
+//   - the last-writer directory and trace events buffer per node group in
+//     a lane (below) and merge in node order;
+//   - anything that cannot be buffered — demand faults, page placement,
+//     allocator calls — parks the thread into the round's serial phase
+//     (Thread.parkSerial), which runs after the merge against base state.
+//
+// Because the merge order is fixed and groups never touch shared mutable
+// state while running, executing groups on one host core or many produces
+// byte-identical simulations.
+
+// lane is the per-node-group effect buffer for state that needs
+// within-group read-your-writes semantics during a round: the last-writer
+// line directory (coherence tracking is immediate inside a node's cache
+// domain, round-granular across domains) and the group's trace events.
+type lane struct {
+	// epoch-tagged overlay over Machine.writerDir: entries written this
+	// round live in dirVal, marked by dirEpoch == epoch and listed in
+	// dirLog for the boundary merge. Reads fall through to the (frozen)
+	// base directory.
+	epoch    uint32
+	dirVal   []uint32
+	dirEpoch []uint32
+	dirLog   []uint32
+
+	events []trace.Event
+}
+
+// beginRound opens a fresh round for the lane: prior overlay entries
+// expire by epoch bump, the write log and event buffer reset.
+func (ln *lane) beginRound() {
+	ln.epoch++
+	if ln.epoch == 0 {
+		// Epoch wrapped: stale marks from 2^32 rounds ago would alias the
+		// new epoch, so clear them once.
+		for i := range ln.dirEpoch {
+			ln.dirEpoch[i] = 0
+		}
+		ln.epoch = 1
+	}
+	ln.dirLog = ln.dirLog[:0]
+	ln.events = ln.events[:0]
+}
+
+// dirRead returns the directory entry at idx as this lane sees it: its
+// own round-local write if present, the round-start base value otherwise.
+func (ln *lane) dirRead(m *Machine, idx uint64) uint32 {
+	if ln.dirEpoch[idx] == ln.epoch {
+		return ln.dirVal[idx]
+	}
+	return m.writerDir[idx]
+}
+
+// dirWrite records a directory write in the lane's overlay.
+func (ln *lane) dirWrite(idx uint64, v uint32) {
+	if ln.dirEpoch[idx] != ln.epoch {
+		ln.dirEpoch[idx] = ln.epoch
+		ln.dirLog = append(ln.dirLog, uint32(idx))
+	}
+	ln.dirVal[idx] = v
+}
+
+// schedGroup is one round's worth of work for one NUMA node: the node's
+// runnable threads (in thread-id order) and its lane. Groups are the unit
+// RunParallel distributes across host cores.
+type schedGroup struct {
+	node    int
+	threads []*Thread
+	lane    *lane
+}
+
+// ensureLanes builds the per-node lanes and group shells on first use.
+func (m *Machine) ensureLanes() {
+	if m.lanes != nil {
+		return
+	}
+	nodes := m.Spec.Topo.Nodes()
+	m.lanes = make([]*lane, nodes)
+	m.groupPool = make([]*schedGroup, nodes)
+	for i := range m.lanes {
+		m.lanes[i] = &lane{
+			dirVal:   make([]uint32, len(m.writerDir)),
+			dirEpoch: make([]uint32, len(m.writerDir)),
+		}
+		m.groupPool[i] = &schedGroup{node: i, lane: m.lanes[i]}
+	}
+}
+
+// buildGroups partitions the runnable threads by current NUMA node into
+// node-ascending groups (thread-id order within each) and opens a fresh
+// lane round for every non-empty group.
+func (m *Machine) buildGroups(runnable []*Thread) []*schedGroup {
+	m.groups = m.groups[:0]
+	for node := range m.lanes {
+		var g *schedGroup
+		for _, t := range runnable {
+			if int(t.node) != node {
+				continue
+			}
+			if g == nil {
+				g = m.groupPool[node]
+				g.threads = g.threads[:0]
+				m.groups = append(m.groups, g)
+			}
+			g.threads = append(g.threads, t)
+		}
+		if g != nil {
+			g.lane.beginRound()
+		}
+	}
+	return m.groups
+}
+
+// runGroup executes one scheduling quantum for each thread of the group,
+// in thread-id order, with effects routed into the group's lane. Threads
+// that hit a serializing operation park with needSerial set and finish
+// their quantum in the round's serial phase instead.
+func (m *Machine) runGroup(g *schedGroup) {
+	for _, t := range g.threads {
+		t.quantumStart = t.cycles
+		t.lane = g.lane
+		t.resume <- struct{}{}
+		<-t.parked
+		t.lane = nil
+		if !t.needSerial {
+			m.finishQuantum(t, t.quantumStart)
+		}
+	}
+}
+
+// finishQuantum applies the scheduler's end-of-quantum accounting:
+// oversubscribed contexts time-share, so wall time inflates by the
+// context's load and each switch re-pollutes the private caches.
+func (m *Machine) finishQuantum(t *Thread, start float64) {
+	load := m.hwLoad[t.hw]
+	if load < 1 {
+		load = 1
+	}
+	t.wall += (t.cycles - start) * float64(load)
+	if m.prof != nil && load > 1 {
+		// The quantum's charges were attributed at their sources; the
+		// inflation beyond them is time spent descheduled.
+		m.prof.add(t.id, t.node, BucketTimeshare, (t.cycles-start)*float64(load-1))
+	}
+	if load > 1 {
+		t.l1.Flush()
+		t.tlb.Flush()
+	}
+}
+
+// mergeLane publishes a lane's round effects into base state: directory
+// writes in log order (lanes merge in node order, so a line written by two
+// nodes in one round deterministically keeps the higher node's entry) and
+// the group's trace events.
+func (m *Machine) mergeLane(ln *lane) {
+	for _, idx := range ln.dirLog {
+		m.writerDir[idx] = ln.dirVal[idx]
+	}
+	if m.trace != nil {
+		for i := range ln.events {
+			m.trace.Emit(ln.events[i])
+		}
+	}
+}
+
+// mergeThreadDeltas folds one thread's round-local accumulators into the
+// machine: counters, the contention window, and AutoNUMA samples (sorted
+// by page so map order never leaks into the simulation).
+func (m *Machine) mergeThreadDeltas(t *Thread) {
+	m.counters.TLBMisses += t.counters.TLBMisses
+	m.counters.CacheAccesses += t.counters.CacheAccesses
+	m.counters.CacheMisses += t.counters.CacheMisses
+	m.counters.LocalAccesses += t.counters.LocalAccesses
+	m.counters.RemoteAccesses += t.counters.RemoteAccesses
+	t.counters = Counters{}
+	for i, v := range t.dramDelta {
+		if v != 0 {
+			m.dramWindow[i] += v
+			t.dramDelta[i] = 0
+		}
+	}
+	m.windowTotal += t.winDelta
+	m.remoteWin += t.remoteDelta
+	t.winDelta, t.remoteDelta = 0, 0
+	if len(t.sampleDelta) > 0 {
+		vpns := make([]uint64, 0, len(t.sampleDelta))
+		for vpn := range t.sampleDelta { //rangecheck:ok keys sorted immediately below
+			vpns = append(vpns, vpn)
+		}
+		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+		for _, vpn := range vpns {
+			m.samples[vpn] = t.sampleDelta[vpn]
+			delete(t.sampleDelta, vpn)
+		}
+	}
+}

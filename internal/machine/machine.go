@@ -170,7 +170,6 @@ type Machine struct {
 
 	// Access samples feeding the AutoNUMA daemon: vpn -> last accessor.
 	samples     map[uint64]sampleEntry
-	sampleTick  uint64
 	clock       float64
 	nextBalance float64
 	nextTHPScan float64
@@ -178,9 +177,16 @@ type Machine struct {
 	active  int // threads still running
 	current *Thread
 
-	counters  Counters
-	migRate   float64 // per-scheduling-event migration probability (PlaceNone)
-	threadSeq int
+	// Round-based scheduler state (see lane.go): per-node effect lanes,
+	// the reusable group shells, and the host-core budget RunParallel may
+	// spend on concurrent node groups.
+	lanes     []*lane
+	groupPool []*schedGroup
+	groups    []*schedGroup
+	hostPar   int
+
+	counters Counters
+	migRate  float64 // per-scheduling-event migration probability (PlaceNone)
 
 	// Observability: the event sink (nil when tracing is off), the
 	// periodic counter-snapshot series, and the span-collection marker
@@ -242,9 +248,38 @@ func New(spec Spec) *Machine {
 	m.linkMult = 1
 	m.writerDir = make([]uint32, 1<<16)
 	m.samples = make(map[uint64]sampleEntry)
+	m.hostPar = defaultHostParallelism
 	m.Configure(DefaultConfig(spec.HardwareThreads()))
 	return m
 }
+
+// defaultHostParallelism seeds every new Machine's host-core budget for
+// RunParallel; CLIs set it once from -machine-parallel before building any
+// machines.
+var defaultHostParallelism = 1
+
+// SetDefaultHostParallelism sets the host parallelism newly built Machines
+// start with (the -machine-parallel flag). It must be called before the
+// machines it should affect are built; values below 1 clamp to 1 (serial).
+func SetDefaultHostParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultHostParallelism = n
+}
+
+// SetHostParallelism sets this machine's host-core budget for RunParallel.
+// Simulated results are byte-identical at any value; only host wall time
+// changes. Values below 1 clamp to 1.
+func (m *Machine) SetHostParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.hostPar = n
+}
+
+// HostParallelism returns the machine's host-core budget for RunParallel.
+func (m *Machine) HostParallelism() int { return m.hostPar }
 
 // NewA, NewB and NewC build the three paper machines.
 func NewA() *Machine { return New(SpecA()) }
@@ -254,6 +289,12 @@ func NewB() *Machine { return New(SpecB()) }
 
 // NewC builds Machine C; see SpecC.
 func NewC() *Machine { return New(SpecC()) }
+
+// NewD builds the chiplet extension Machine D; see SpecD.
+func NewD() *Machine { return New(SpecD()) }
+
+// NewE builds the grid-mesh extension Machine E; see SpecE.
+func NewE() *Machine { return New(SpecE()) }
 
 // Configure applies a run configuration: placement policy, allocator,
 // kernel switches. Call before Run; reconfiguring between phases keeps
@@ -354,69 +395,87 @@ func (m *Machine) Touch(base, bytes uint64, owner topology.NodeID) {
 // Nodes implements alloc.Env.
 func (m *Machine) Nodes() int { return m.Spec.Topo.Nodes() }
 
-// noteWriter records that node last wrote lineTag.
-func (m *Machine) noteWriter(lineTag uint64, node topology.NodeID) {
-	idx := lineTag & uint64(len(m.writerDir)-1)
-	m.writerDir[idx] = uint32(lineTag>>16)<<8 | (uint32(node) + 1)
-}
-
 // coherencePenalty charges a cache-to-cache transfer when lineTag is dirty
 // on another node. A read downgrades the line to shared (entry cleared); a
-// write takes ownership.
-func (m *Machine) coherencePenalty(lineTag uint64, node topology.NodeID, write bool) float64 {
+// write takes ownership. During a round's concurrent phase the directory
+// is read and written through the thread's lane overlay (see lane.go), so
+// cross-node ownership changes become visible at round granularity.
+func (m *Machine) coherencePenalty(t *Thread, lineTag uint64, write bool) float64 {
 	idx := lineTag & uint64(len(m.writerDir)-1)
-	e := m.writerDir[idx]
+	ln := t.lane
+	var e uint32
+	if ln != nil {
+		e = ln.dirRead(m, idx)
+	} else {
+		e = m.writerDir[idx]
+	}
 	cost := 0.0
 	if e != 0 && e>>8 == uint32(lineTag>>16) {
 		owner := topology.NodeID(e&0xff) - 1
-		if owner != node {
+		if owner != t.node {
 			cost = m.P.CoherenceCycles
-			m.writerDir[idx] = 0 // downgraded out of the owner's cache
+			// Downgraded out of the owner's cache.
+			if ln != nil {
+				ln.dirWrite(idx, 0)
+			} else {
+				m.writerDir[idx] = 0
+			}
 			if m.trace != nil {
-				cyc, th := m.traceNow()
-				m.trace.Emit(trace.Event{
-					Cycle:  cyc,
+				ev := trace.Event{
+					Cycle:  t.cycles,
 					Kind:   trace.Coherence,
-					Thread: th,
+					Thread: int32(t.id),
 					From:   int16(owner),
-					To:     int16(node),
+					To:     int16(t.node),
 					Addr:   lineTag * uint64(m.Spec.LineSize),
 					Cost:   cost,
-				})
+				}
+				if ln != nil {
+					ln.events = append(ln.events, ev)
+				} else {
+					m.trace.Emit(ev)
+				}
 			}
 		}
 	}
 	if write {
-		m.noteWriter(lineTag, node)
+		t.noteWriter(lineTag)
 	}
 	return cost
 }
 
+// contentionWindow is the DRAM access count that triggers a contention
+// refresh, checked at round boundaries once the threads' window deltas
+// have merged.
+const contentionWindow = 8192
+
 // noteDRAM records a DRAM access for contention modelling and AutoNUMA
-// sampling, and periodically refreshes the contention multipliers.
+// sampling. Everything accumulates thread-locally (merged at the round
+// boundary); only the daemon's pre-sized access table is written in
+// place, on this thread's exclusive row.
 func (m *Machine) noteDRAM(home topology.NodeID, t *Thread) {
-	m.dramWindow[home]++
-	m.windowTotal++
-	if home != t.Node() {
-		m.remoteWin++
+	t.dramDelta[home]++
+	t.winDelta++
+	if home != t.node {
+		t.remoteDelta++
 	}
-	m.sampleTick++
-	if (m.cfg.AutoNUMA || m.daemon != nil) && m.sampleTick%16 == 0 {
+	t.sampleTick++
+	if (m.cfg.AutoNUMA || m.daemon != nil) && t.sampleTick%16 == 0 {
 		vpn := t.lastVPN
-		e := m.samples[vpn]
+		e, ok := t.sampleDelta[vpn]
+		if !ok {
+			e = m.samples[vpn]
+		}
 		if e.thread == t.id {
 			e.hits++
 		} else {
 			e = sampleEntry{thread: t.id, hits: 1}
 		}
-		e.node = t.Node()
-		m.samples[vpn] = e
+		e.node = t.node
+		t.sampleDelta[vpn] = e
 	}
 	if m.daemon != nil {
 		m.noteThreadNode(t.id, home)
-	}
-	if m.windowTotal >= 8192 {
-		m.refreshContention()
 	}
 }
 

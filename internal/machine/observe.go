@@ -361,8 +361,15 @@ func (m *Machine) SetDaemon(period float64, fn func(*Telemetry, Actuator)) {
 // noteThreadNode accumulates one DRAM access into the per-thread × node
 // table behind Telemetry.ThreadNodeAccesses.
 func (m *Machine) noteThreadNode(id int, home topology.NodeID) {
+	m.growThreadNodeAcc(id)
+	m.threadNodeAcc[id][home]++
+}
+
+// growThreadNodeAcc sizes the table through thread id. The scheduler
+// pre-sizes at Run start so the hot path's writes (each on the thread's
+// exclusive row) never append while node groups run concurrently.
+func (m *Machine) growThreadNodeAcc(id int) {
 	for id >= len(m.threadNodeAcc) {
 		m.threadNodeAcc = append(m.threadNodeAcc, make([]uint64, m.Spec.Topo.Nodes()))
 	}
-	m.threadNodeAcc[id][home]++
 }

@@ -1,0 +1,181 @@
+package machine
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// parallelEquivBody is the RunParallel counterpart of equivBody: the same
+// access shapes (dense runs, strides, random scalar probes, cross-node
+// sharing, allocation, pure-CPU work) but with every cross-thread
+// interaction confined to the simulated memory API — the shared buffer is
+// allocated by a setup Run before the parallel phase and only its address
+// crosses threads, read-only.
+func parallelEquivBody(shared uint64) func(*Thread) {
+	const bufBytes = 1 << 20
+	return func(t *Thread) {
+		base := t.Malloc(bufBytes)
+		t.WriteRun(base, 8, bufBytes/8)
+		t.ReadRun(base, 64, bufBytes/64)
+		t.ReadStrided(base, 8, 4096, bufBytes/4096)
+		t.WriteStrided(base, 16, 192, 1024)
+		rng := t.RNG()
+		for i := 0; i < 512; i++ {
+			off := rng.Uint64n(bufBytes/8) * 8
+			t.Read(base+off, 8)
+		}
+		t.Charge(3000)
+		// Cross-node traffic: every thread reads and rewrites the head of
+		// the shared region, exercising the coherence directory (and its
+		// lane overlay) from concurrent node groups.
+		t.ReadRun(shared, 8, 2048)
+		t.WriteRun(shared, 8, 2048)
+		t.Free(base, bufBytes)
+	}
+}
+
+// runParallelOnce drives one full profiled+traced RunParallel execution at
+// the given host parallelism and returns everything observable.
+func runParallelOnce(mk func() *Machine, cfg RunConfig, threads, par int) (Result, *Profile, []trace.Event) {
+	m := mk()
+	m.Configure(cfg)
+	m.SetProfiling(true)
+	rec := trace.NewRecorder()
+	m.SetTrace(rec)
+	m.SetHostParallelism(par)
+	var shared uint64
+	m.Run(1, func(t *Thread) {
+		shared = t.Malloc(1 << 20)
+		t.WriteRun(shared, 64, (1<<20)/64)
+	})
+	res := m.RunParallel(threads, parallelEquivBody(shared))
+	return res, m.Profile(), rec.Events
+}
+
+// TestRunParallelEquivalence is the tentpole's determinism proof at the
+// engine level: across the full configuration sweep (all machines,
+// placements, policies, allocators, daemons), RunParallel on four host
+// workers must reproduce the single-worker execution bit for bit —
+// result, counters, cycle attribution and the complete trace stream.
+// The CLI-level counterpart (whole experiments byte-compared across
+// -machine-parallel values) runs in CI's equivalence job.
+func TestRunParallelEquivalence(t *testing.T) {
+	for _, tc := range profileConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			sRes, sProf, sEvents := runParallelOnce(tc.machine, tc.cfg, tc.threads, 1)
+			pRes, pProf, pEvents := runParallelOnce(tc.machine, tc.cfg, tc.threads, 4)
+			if !reflect.DeepEqual(sRes, pRes) {
+				t.Errorf("results diverge:\npar=1: %+v\npar=4: %+v", sRes, pRes)
+			}
+			if !reflect.DeepEqual(sProf, pProf) {
+				t.Error("cycle profiles diverge")
+			}
+			if len(sEvents) != len(pEvents) {
+				t.Fatalf("trace streams diverge: %d vs %d events", len(sEvents), len(pEvents))
+			}
+			for i := range sEvents {
+				if sEvents[i] != pEvents[i] {
+					t.Fatalf("trace event %d diverges:\npar=1: %+v\npar=4: %+v",
+						i, sEvents[i], pEvents[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunParallelLargeTopologies drives the parallel engine on the big
+// presets (D and E have 8 and 16 node groups, so rounds genuinely fan out
+// past the worker count) and cross-checks against serial execution.
+func TestRunParallelLargeTopologies(t *testing.T) {
+	for _, mk := range []func() *Machine{NewD, NewE} {
+		m := mk()
+		t.Run(m.Spec.Name, func(t *testing.T) {
+			threads := m.Spec.Topo.Nodes() * 2
+			cfg := testConfig(threads)
+			sRes, sProf, _ := runParallelOnce(mk, cfg, threads, 1)
+			pRes, pProf, _ := runParallelOnce(mk, cfg, threads, 4)
+			if !reflect.DeepEqual(sRes, pRes) {
+				t.Errorf("results diverge:\npar=1: %+v\npar=4: %+v", sRes, pRes)
+			}
+			if !reflect.DeepEqual(sProf, pProf) {
+				t.Error("cycle profiles diverge")
+			}
+		})
+	}
+}
+
+// TestRunParallelRace exists for the race detector: it drives concurrent
+// node groups through every effect path — access runs, coherence
+// upgrades, serial handoffs (faults, allocator calls), daemons
+// (AutoNUMA + THP via the tuned config's sampler), tracing and profiling
+// — so `go test -race` proves the quantum workers share no unsynchronized
+// state. Run it with GOMAXPROCS > 1 for real interleaving.
+func TestRunParallelRace(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Log("GOMAXPROCS=1: workers cannot truly interleave; still checks the engine path")
+	}
+	for _, cfg := range []RunConfig{DefaultConfig(8), TunedConfig(8)} {
+		m := NewB()
+		m.Configure(cfg)
+		m.SetProfiling(true)
+		m.SetTrace(trace.NewRecorder())
+		m.SetHostParallelism(4)
+		var shared uint64
+		m.Run(1, func(t *Thread) {
+			shared = t.Malloc(1 << 20)
+			t.WriteRun(shared, 64, (1<<20)/64)
+		})
+		m.RunParallel(8, parallelEquivBody(shared))
+	}
+}
+
+// benchParallelBody is a memory-bound, fault- and allocation-light body:
+// after the first round its quanta never serialize, which is the workload
+// shape RunParallel accelerates.
+func benchParallelBody(bases []uint64) func(*Thread) {
+	const bufBytes = 1 << 20
+	return func(t *Thread) {
+		base := bases[t.ID()]
+		for rep := 0; rep < 12; rep++ {
+			t.ReadRun(base, 64, bufBytes/64)
+			t.WriteStrided(base, 8, 4096, bufBytes/4096)
+		}
+	}
+}
+
+// BenchmarkMachineParallel measures the round engine across host-core
+// budgets on one fixed simulated workload (Machine B, 8 threads over 4
+// node groups). Run with -benchtime Nx: the simulated machine's state
+// depends on total access count, so fixed iterations keep runs comparable.
+//
+//	serial     — the engine's inline path (par=1)
+//	par4gomax1 — 4 workers pinned to one host core: the worker pool's pure
+//	             scheduling overhead, host-independent (this is the ratio
+//	             the bench gate tracks as machine_parallel_vs_serial)
+//	par4       — 4 workers on the natural GOMAXPROCS: the actual speedup
+//	             on this host, informational only
+func BenchmarkMachineParallel(b *testing.B) {
+	run := func(b *testing.B, par int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewB()
+			m.Configure(testConfig(8))
+			m.SetHostParallelism(par)
+			bases := make([]uint64, 8)
+			m.Run(8, func(t *Thread) {
+				bases[t.ID()] = t.Malloc(1 << 20)
+				t.WriteRun(bases[t.ID()], 64, (1<<20)/64)
+			})
+			m.RunParallel(8, benchParallelBody(bases))
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("par4gomax1", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		run(b, 4)
+	})
+	b.Run("par4", func(b *testing.B) { run(b, 4) })
+}

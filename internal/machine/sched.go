@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sync"
+
 	"repro/internal/cache"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -42,24 +44,55 @@ func (m *Machine) initialHW(i int) int {
 }
 
 // Run executes body on n simulated threads under the active configuration
-// and returns the run's result. The scheduler is a deterministic
-// least-wall-time-first cooperative loop: exactly one thread executes at a
-// time; kernel daemons fire on the global virtual clock between quanta.
+// and returns the run's result.
+//
+// The scheduler is a deterministic round-based loop: each round, every
+// runnable thread executes one scheduling quantum, grouped by NUMA node
+// (node-ascending, thread-id order within a node), and cross-thread
+// effects merge at the round boundary — where the kernel daemons also
+// fire on the global virtual clock. Under Run the groups themselves
+// execute sequentially, so a body may share Go state across threads
+// without synchronization, exactly as before; see RunParallel for the
+// host-parallel variant and the contract it demands.
 func (m *Machine) Run(n int, body func(t *Thread)) Result {
+	return m.run(n, body, 1)
+}
+
+// RunParallel executes body exactly like Run, but different NUMA nodes'
+// thread groups may execute their quanta concurrently on up to
+// HostParallelism host cores. All simulated state a quantum touches is
+// either private to its node group or buffered and merged in a fixed
+// order at the round boundary (see lane.go), so the simulation is
+// byte-identical to Run at any host parallelism and any GOMAXPROCS.
+//
+// The body must be parallel-safe: threads may interact only through the
+// simulated memory API (Read/Write/runs, Malloc/Free, Charge), never
+// through shared Go state. Bodies that share Go-side structures across
+// threads — legal under Run's sequential contract — would race here.
+func (m *Machine) RunParallel(n int, body func(t *Thread)) Result {
+	return m.run(n, body, m.hostPar)
+}
+
+// run is the scheduler engine behind Run and RunParallel; par is the
+// maximum number of node groups executed concurrently on the host.
+func (m *Machine) run(n int, body func(t *Thread), par int) Result {
 	if n <= 0 {
 		n = m.cfg.Threads
 	}
+	nodes := m.Spec.Topo.Nodes()
 	threads := make([]*Thread, n)
 	for i := range threads {
 		t := &Thread{
-			m:      m,
-			id:     i,
-			hw:     m.initialHW(i),
-			l1:     cache.New(m.Spec.L1BytesPerCore/m.Spec.LineSize, 8),
-			tlb:    cache.NewTLB(m.Spec.TLB4KEntries, m.Spec.TLB2MEntries, 4),
-			rng:    m.rng.Derive(uint64(i) + 1),
-			resume: make(chan struct{}),
-			parked: make(chan struct{}),
+			m:           m,
+			id:          i,
+			hw:          m.initialHW(i),
+			l1:          cache.New(m.Spec.L1BytesPerCore/m.Spec.LineSize, 8),
+			tlb:         cache.NewTLB(m.Spec.TLB4KEntries, m.Spec.TLB2MEntries, 4),
+			rng:         m.rng.Derive(uint64(i) + 1),
+			dramDelta:   make([]float64, nodes),
+			sampleDelta: make(map[uint64]sampleEntry),
+			resume:      make(chan struct{}),
+			parked:      make(chan struct{}),
 		}
 		t.node = m.nodeOf(t.hw)
 		m.hwLoad[t.hw]++
@@ -72,54 +105,92 @@ func (m *Machine) Run(n int, body func(t *Thread)) Result {
 		}()
 	}
 	m.active = n
+	m.ensureLanes()
+	// Grow-on-demand tables are pre-sized so no group worker ever appends
+	// to shared storage mid-round.
+	if m.prof != nil {
+		m.prof.thread(n - 1)
+	}
+	if m.daemon != nil {
+		m.growThreadNodeAcc(n - 1)
+	}
 
 	runnable := make([]*Thread, n)
 	copy(runnable, threads)
 	for len(runnable) > 0 {
-		// Pick the thread with the smallest wall time: deterministic and a
-		// decent stand-in for fair scheduling.
-		best := 0
-		for i, t := range runnable {
-			if t.wall < runnable[best].wall {
-				best = i
+		groups := m.buildGroups(runnable)
+		w := par
+		if w > len(groups) {
+			w = len(groups)
+		}
+		if w <= 1 {
+			for _, g := range groups {
+				m.runGroup(g)
+			}
+		} else {
+			ch := make(chan *schedGroup)
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for i := 0; i < w; i++ {
+				go func() {
+					defer wg.Done()
+					for g := range ch {
+						m.runGroup(g)
+					}
+				}()
+			}
+			for _, g := range groups {
+				ch <- g
+			}
+			close(ch)
+			wg.Wait()
+		}
+		// Round boundary. Publish lane effects in node order, then run the
+		// serial continuations: threads that parked on a serializing
+		// operation (demand fault, allocator call) finish their quantum
+		// one at a time against base state, in thread-id order.
+		for _, g := range groups {
+			m.mergeLane(g.lane)
+		}
+		for _, t := range runnable {
+			if !t.needSerial {
+				continue
+			}
+			t.needSerial = false
+			t.resume <- struct{}{}
+			<-t.parked
+			m.current = nil
+			m.finishQuantum(t, t.quantumStart)
+		}
+		for _, t := range runnable {
+			m.mergeThreadDeltas(t)
+		}
+		for _, t := range runnable {
+			if t.wall > m.clock {
+				m.clock = t.wall
 			}
 		}
-		t := runnable[best]
-		start := t.cycles
-		t.resume <- struct{}{}
-		<-t.parked
-		// Oversubscribed contexts time-share: wall time inflates by the
-		// context's load, and each switch re-pollutes the private caches.
-		load := m.hwLoad[t.hw]
-		if load < 1 {
-			load = 1
-		}
-		t.wall += (t.cycles - start) * float64(load)
-		if m.prof != nil && load > 1 {
-			// The quantum's charges were attributed at their sources; the
-			// inflation beyond them is time spent descheduled.
-			m.prof.add(t.id, m.nodeOf(t.hw), BucketTimeshare,
-				(t.cycles-start)*float64(load-1))
-		}
-		if load > 1 {
-			t.l1.Flush()
-			t.tlb.Flush()
-		}
-		if t.wall > m.clock {
-			m.clock = t.wall
+		if m.windowTotal >= contentionWindow {
+			m.refreshContention()
 		}
 		m.runDaemons(threads)
 		m.pumpSnapshots()
-		if t.done {
-			m.hwLoad[t.hw]--
-			m.active--
-			if m.prof != nil {
-				m.prof.thread(t.id).wall += t.wall
+		live := runnable[:0]
+		for _, t := range runnable {
+			if t.done {
+				m.hwLoad[t.hw]--
+				m.active--
+				if m.prof != nil {
+					m.prof.thread(t.id).wall += t.wall
+				}
+				continue
 			}
-			runnable = append(runnable[:best], runnable[best+1:]...)
-			continue
+			live = append(live, t)
 		}
-		m.osSchedule(t)
+		runnable = live
+		for _, t := range runnable {
+			m.osSchedule(t)
+		}
 	}
 
 	var res Result

@@ -101,6 +101,50 @@ func SpecC() Spec {
 	}
 }
 
+// SpecD returns Machine D: a modern two-socket chiplet box — 8 sub-NUMA
+// nodes of 8 cores x 2 SMT, large 32MiB LLC slices, DDR4-3200 and a 16GT/s
+// package interconnect. 128 hardware threads. Not a paper machine; it
+// extends the study to chiplet-era topologies (see topology.MachineD).
+func SpecD() Spec {
+	return Spec{
+		Name:            "Machine D",
+		Topo:            topology.MachineD(),
+		CoresPerNode:    8,
+		ThreadsPerCore:  2,
+		FreqGHz:         2.45,
+		LLCBytesPerNode: 32 << 20,
+		L1BytesPerCore:  32 << 10,
+		LineSize:        64,
+		TLB4KEntries:    64 + 2048,
+		TLB2MEntries:    64 + 2048,
+		MemPerNodeBytes: 128 << 30,
+		MemClockMHz:     3200,
+		Params:          paramsFor(2.45, 3200, 16.0),
+	}
+}
+
+// SpecE returns Machine E: a 16-node 4x4 grid mesh of small 4-core x 2 SMT
+// tiles with 8MiB LLC slices — the many-domain regime where hop distance
+// spans 0..6 and placement decisions dominate. 128 hardware threads. Not a
+// paper machine (see topology.MachineE).
+func SpecE() Spec {
+	return Spec{
+		Name:            "Machine E",
+		Topo:            topology.MachineE(),
+		CoresPerNode:    4,
+		ThreadsPerCore:  2,
+		FreqGHz:         2.2,
+		LLCBytesPerNode: 8 << 20,
+		L1BytesPerCore:  48 << 10,
+		LineSize:        64,
+		TLB4KEntries:    64 + 1024,
+		TLB2MEntries:    32 + 1024,
+		MemPerNodeBytes: 64 << 30,
+		MemClockMHz:     2933,
+		Params:          paramsFor(2.2, 2933, 25.0),
+	}
+}
+
 // paramsFor derives machine-specific cost parameters from the CPU
 // frequency, memory clock and interconnect bandwidth: DRAM latency in
 // cycles scales with the CPU:memory clock ratio, and contention
@@ -127,3 +171,7 @@ func paramsFor(freqGHz float64, memClockMHz int, linkGTs float64) Params {
 
 // Specs returns the three paper machines in order.
 func Specs() []Spec { return []Spec{SpecA(), SpecB(), SpecC()} }
+
+// AllSpecs returns the paper machines plus the large-topology extensions
+// D (8-node chiplet) and E (16-node grid mesh).
+func AllSpecs() []Spec { return []Spec{SpecA(), SpecB(), SpecC(), SpecD(), SpecE()} }

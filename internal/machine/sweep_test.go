@@ -170,22 +170,26 @@ func refAccess(t *Thread, addr, size uint64, write bool) {
 	m := t.m
 	line := uint64(m.Spec.LineSize)
 	last := (addr + size - 1) &^ (line - 1)
-	m.current = t
+	if t.lane == nil {
+		m.current = t
+	}
 	for a := addr &^ (line - 1); a <= last; a += line {
 		refAccessLine(t, a, write)
 	}
-	m.current = nil
+	if t.lane == nil {
+		m.current = nil
+	}
 	t.maybeYield()
 }
 
 func refAccessLine(t *Thread, a uint64, write bool) {
 	m := t.m
 	p := &m.P
-	node := m.nodeOf(t.hw)
 	cost := 0.0
 	var faultC, walkC float64
 	vpn := a >> vmm.PageShift
-	f := m.Mem.Fault(a, node)
+	f := t.fault(a)
+	node := t.node
 	if f.Kind == vmm.MinorFault {
 		cost += p.MinorFaultCycles
 		faultC = p.MinorFaultCycles
@@ -195,7 +199,7 @@ func refAccessLine(t *Thread, a uint64, write bool) {
 		}
 	}
 	if !t.tlb.Access(vpn, f.Huge) {
-		m.counters.TLBMisses++
+		t.counters.TLBMisses++
 		if f.Huge {
 			cost += p.WalkHugeCycles
 			walkC = p.WalkHugeCycles
@@ -207,7 +211,7 @@ func refAccessLine(t *Thread, a uint64, write bool) {
 	lineTag := a / uint64(m.Spec.LineSize)
 	if t.l1.Access(lineTag) {
 		if write {
-			m.noteWriter(lineTag, node)
+			t.noteWriter(lineTag)
 		}
 		t.cycles += cost + p.L1HitCycles
 		if m.prof != nil {
@@ -215,9 +219,9 @@ func refAccessLine(t *Thread, a uint64, write bool) {
 		}
 		return
 	}
-	cohC := m.coherencePenalty(lineTag, node, write)
+	cohC := m.coherencePenalty(t, lineTag, write)
 	cost += cohC
-	m.counters.CacheAccesses++
+	t.counters.CacheAccesses++
 	if m.llc[node].Access(lineTag) {
 		t.cycles += cost + p.LLCHitCycles
 		if m.prof != nil {
@@ -225,14 +229,14 @@ func refAccessLine(t *Thread, a uint64, write bool) {
 		}
 		return
 	}
-	m.counters.CacheMisses++
+	t.counters.CacheMisses++
 	home := f.Node
 	dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
 	if home != node {
 		dram *= m.linkMult
-		m.counters.RemoteAccesses++
+		t.counters.RemoteAccesses++
 	} else {
-		m.counters.LocalAccesses++
+		t.counters.LocalAccesses++
 	}
 	t.lastVPN = vpn
 	m.noteDRAM(home, t)

@@ -9,9 +9,12 @@ import (
 
 // Thread is a simulated worker thread. Workload bodies use it for every
 // interaction with the machine: memory access, allocation, and pure-CPU
-// work. Threads are cooperative — the scheduler runs exactly one at a time,
-// so a body needs no synchronization of Go state, but the virtual-time
-// interleaving is faithful to the quantum granularity.
+// work. Threads are cooperative and the virtual-time interleaving is
+// faithful to the quantum granularity. Under Machine.Run quanta execute
+// one at a time on the host, so a body needs no synchronization of Go
+// state; under Machine.RunParallel quanta of different NUMA nodes may
+// execute concurrently and the body must confine cross-thread interaction
+// to the simulated memory API.
 type Thread struct {
 	m    *Machine
 	id   int
@@ -27,6 +30,26 @@ type Thread struct {
 	sliceBase  float64 // cycles at the start of the current quantum
 	lastVPN    uint64  // most recent DRAM access page, for NUMA sampling
 	migrations uint64
+
+	// Round-local effect accumulators, merged by the scheduler at every
+	// round boundary (see lane.go): perf counters, the DRAM contention
+	// window (per home node, plus total and remote-share tallies), and
+	// AutoNUMA access samples. sampleTick paces the 1-in-16 sampling of
+	// this thread's DRAM accesses.
+	counters    Counters
+	dramDelta   []float64
+	winDelta    float64
+	remoteDelta float64
+	sampleDelta map[uint64]sampleEntry
+	sampleTick  uint64
+
+	// lane is the node group's effect buffer while the thread runs the
+	// concurrent phase of a round, nil in the serial phase and at
+	// boundaries. quantumStart and needSerial carry a split quantum (one
+	// that parked on a serializing operation) into the serial phase.
+	lane         *lane
+	quantumStart float64
+	needSerial   bool
 
 	resume chan struct{}
 	parked chan struct{}
@@ -51,6 +74,50 @@ func (t *Thread) Cycles() float64 { return t.cycles }
 func (t *Thread) stall(cycles float64) {
 	t.cycles += cycles
 	t.wall += cycles
+}
+
+// parkSerial hands the thread from a round's concurrent phase to its
+// serial phase: the scheduler resumes it, alone, after the round's lane
+// effects have merged, so the operation that needed serialization (demand
+// fault, allocator call, page-table mutation) runs against base state
+// exactly as it would between quanta.
+func (t *Thread) parkSerial() {
+	t.needSerial = true
+	t.parked <- struct{}{}
+	<-t.resume
+	// Serial phase: direct effects, and trace events from the VMM and
+	// allocator stamp against this thread via Machine.current.
+	t.m.current = t
+}
+
+// fault resolves the page backing address a. During the concurrent phase
+// mapped pages are served from the read-only page table (vmm.Fault is
+// pure for mapped pages, so the outcome is synthesized without touching
+// VMM state); anything that would mutate the VMM — a demand fault, first
+// touch placement, THP mapping — parks the thread into the serial phase
+// and retakes the ordinary mutating path there.
+func (t *Thread) fault(a uint64) vmm.Fault {
+	m := t.m
+	if t.lane != nil {
+		if node, huge, ok := m.Mem.Locate(a); ok {
+			return vmm.Fault{Node: node, Kind: vmm.Hit, Huge: huge}
+		}
+		t.parkSerial()
+	}
+	return m.Mem.Fault(a, t.node)
+}
+
+// noteWriter records that this thread's node last wrote lineTag, through
+// the lane overlay during a round's concurrent phase.
+func (t *Thread) noteWriter(lineTag uint64) {
+	m := t.m
+	idx := lineTag & uint64(len(m.writerDir)-1)
+	v := uint32(lineTag>>16)<<8 | (uint32(t.node) + 1)
+	if ln := t.lane; ln != nil {
+		ln.dirWrite(idx, v)
+	} else {
+		m.writerDir[idx] = v
+	}
 }
 
 // Charge accounts pure CPU work (hashing, comparisons, arithmetic) that
@@ -110,8 +177,13 @@ func (t *Thread) WriteStrided(addr, elem, stride uint64, count int) {
 }
 
 // Malloc allocates size bytes through the machine's configured allocator,
-// charging the allocation cost to the thread.
+// charging the allocation cost to the thread. Allocator state is shared
+// across the machine, so during a round's concurrent phase the call first
+// parks into the serial phase.
 func (t *Thread) Malloc(size uint64) uint64 {
+	if t.lane != nil {
+		t.parkSerial()
+	}
 	m := t.m
 	m.current = t
 	m.pendingLockWait = 0
@@ -125,6 +197,9 @@ func (t *Thread) Malloc(size uint64) uint64 {
 
 // Free releases an allocation (sized free), charging its cost.
 func (t *Thread) Free(addr, size uint64) {
+	if t.lane != nil {
+		t.parkSerial()
+	}
 	m := t.m
 	m.current = t
 	m.pendingLockWait = 0
@@ -164,9 +239,18 @@ func (t *Thread) access(addr, size uint64, write bool) {
 		t.accessRun(addr, size, 0, 1, write)
 		return
 	}
-	m.current = t
+	// Mark the acting thread so trace events emitted along the serial
+	// access path (faults, placements) are stamped with its cycle account.
+	// During a round's concurrent phase Machine.current stays untouched:
+	// the concurrent path emits no VMM events and stamps coherence events
+	// explicitly.
+	if t.lane == nil {
+		m.current = t
+	}
 	t.accessLine(addr&^(m.lineSize-1), write)
-	m.current = nil
+	if t.lane == nil {
+		m.current = nil
+	}
 	t.maybeYield()
 }
 
@@ -176,11 +260,11 @@ func (t *Thread) access(addr, size uint64, write bool) {
 func (t *Thread) accessLine(a uint64, write bool) {
 	m := t.m
 	p := &m.P
-	node := t.node
 	cost := 0.0
 	var faultC, walkC float64
 	vpn := a >> vmm.PageShift
-	f := m.Mem.Fault(a, node)
+	f := t.fault(a)
+	node := t.node
 	if f.Kind == vmm.MinorFault {
 		cost += p.MinorFaultCycles
 		faultC = p.MinorFaultCycles
@@ -190,7 +274,7 @@ func (t *Thread) accessLine(a uint64, write bool) {
 		}
 	}
 	if !t.tlb.Access(vpn, f.Huge) {
-		m.counters.TLBMisses++
+		t.counters.TLBMisses++
 		if f.Huge {
 			cost += p.WalkHugeCycles
 			walkC = p.WalkHugeCycles
@@ -202,7 +286,7 @@ func (t *Thread) accessLine(a uint64, write bool) {
 	lineTag := a >> m.lineShift
 	if t.l1.Access(lineTag) {
 		if write {
-			m.noteWriter(lineTag, node)
+			t.noteWriter(lineTag)
 		}
 		t.cycles += cost + p.L1HitCycles
 		if prof := m.prof; prof != nil {
@@ -210,9 +294,9 @@ func (t *Thread) accessLine(a uint64, write bool) {
 		}
 		return
 	}
-	cohC := m.coherencePenalty(lineTag, node, write)
+	cohC := m.coherencePenalty(t, lineTag, write)
 	cost += cohC
-	m.counters.CacheAccesses++
+	t.counters.CacheAccesses++
 	if m.llc[node].Access(lineTag) {
 		t.cycles += cost + p.LLCHitCycles
 		if prof := m.prof; prof != nil {
@@ -220,14 +304,14 @@ func (t *Thread) accessLine(a uint64, write bool) {
 		}
 		return
 	}
-	m.counters.CacheMisses++
+	t.counters.CacheMisses++
 	home := f.Node
 	dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
 	if home != node {
 		dram *= m.linkMult
-		m.counters.RemoteAccesses++
+		t.counters.RemoteAccesses++
 	} else {
-		m.counters.LocalAccesses++
+		t.counters.LocalAccesses++
 	}
 	t.lastVPN = vpn
 	m.noteDRAM(home, t)
@@ -247,8 +331,9 @@ func (t *Thread) accessLine(a uint64, write bool) {
 // the fault outcome for the current page (or 2MiB group) and the TLB entry
 // serving it. Both are guaranteed re-hits until the next yield — the
 // scheduler only runs daemons (page/thread migration, hugepage splits, TLB
-// flushes) between quanta — so the cache is dropped at every yield point
-// and the charged costs stay bit-identical to the uncached walk.
+// flushes) between quanta, and a serial handoff counts as a yield — so the
+// cache is dropped at every yield point and the charged costs stay
+// bit-identical to the uncached walk.
 func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 	if elem == 0 || count <= 0 {
 		return
@@ -279,11 +364,15 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 	for i := 0; i < count; i++ {
 		a0 := addr + uint64(i)*stride
 		last := (a0 + elem - 1) &^ lineMask
-		// Mark the acting thread so trace events emitted along the access
-		// path (faults, placements, coherence transfers) are stamped with
-		// its cycle account; cleared before yielding so daemon work is
-		// stamped on the global clock.
-		m.current = t
+		// Mark the acting thread so trace events emitted along the serial
+		// access path (faults, placements) are stamped with its cycle
+		// account; cleared before yielding so daemon work is stamped on
+		// the global clock. The concurrent path leaves Machine.current
+		// alone — it emits no VMM events and stamps coherence events
+		// explicitly.
+		if t.lane == nil {
+			m.current = t
+		}
 		for a := a0 &^ lineMask; ; a += m.lineSize {
 			node := t.node
 			cost := 0.0
@@ -299,12 +388,21 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 				// lookup re-hits — unless this is a huge translation with
 				// no 2MiB TLB array, where every line walks.
 				if !ref.Repeat() {
-					m.counters.TLBMisses++
+					t.counters.TLBMisses++
 					cost += p.WalkHugeCycles
 					walkC = p.WalkHugeCycles
 				}
 			} else {
-				f = m.Mem.Fault(a, node)
+				wasLane := t.lane != nil
+				f = t.fault(a)
+				if wasLane && t.lane == nil {
+					// The fault crossed into the serial phase: other
+					// threads ran in between, so the cached line handle is
+					// stale (dropping it is always safe — the uncached
+					// walk charges identically).
+					haveLine = false
+				}
+				node = t.node
 				if f.Kind == vmm.MinorFault {
 					cost += p.MinorFaultCycles
 					faultC = p.MinorFaultCycles
@@ -318,7 +416,7 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 				var hit bool
 				hit, ref = t.tlb.AccessIndexed(vpn, f.Huge)
 				if !hit {
-					m.counters.TLBMisses++
+					t.counters.TLBMisses++
 					if f.Huge {
 						cost += p.WalkHugeCycles
 						walkC = p.WalkHugeCycles
@@ -348,7 +446,7 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 			if l1Hit {
 				// L1 hit: the line is already owned or shared by this core.
 				if write {
-					m.noteWriter(lineTag, node)
+					t.noteWriter(lineTag)
 				}
 				t.cycles += cost + p.L1HitCycles
 				if prof != nil {
@@ -357,23 +455,23 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 			} else {
 				// Past L1, a line dirty in another node's cache costs a
 				// transfer.
-				cohC := m.coherencePenalty(lineTag, node, write)
+				cohC := m.coherencePenalty(t, lineTag, write)
 				cost += cohC
-				m.counters.CacheAccesses++
+				t.counters.CacheAccesses++
 				if m.llc[node].Access(lineTag) {
 					t.cycles += cost + p.LLCHitCycles
 					if prof != nil {
 						prof.access(t.id, node, faultC, walkC, cohC, BucketLLCHit, p.LLCHitCycles)
 					}
 				} else {
-					m.counters.CacheMisses++
+					t.counters.CacheMisses++
 					home := f.Node
 					dram := p.DRAMCycles * m.Spec.Topo.Latency(node, home) * m.nodeMult[home]
 					if home != node {
 						dram *= m.linkMult
-						m.counters.RemoteAccesses++
+						t.counters.RemoteAccesses++
 					} else {
-						m.counters.LocalAccesses++
+						t.counters.LocalAccesses++
 					}
 					t.lastVPN = vpn
 					m.noteDRAM(home, t)
@@ -389,7 +487,9 @@ func (t *Thread) accessRun(addr, elem, stride uint64, count int, write bool) {
 				break
 			}
 		}
-		m.current = nil
+		if t.lane == nil {
+			m.current = nil
+		}
 		// Inline maybeYield. Yielding parks the thread, and the scheduler
 		// may run daemons (page migrations, hugepage splits/promotions, TLB
 		// flushes and shootdowns) or move the thread before resuming it —

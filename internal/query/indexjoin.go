@@ -28,9 +28,12 @@ func IndexJoin(m *machine.Machine, kind index.Kind, tables datagen.JoinTables) J
 		}
 	})
 
+	// Index lookups are read-only on the pre-built index, so the probe
+	// runs under RunParallel with per-thread result accumulation.
 	outs := make([]vec, threads)
-	var matches, checksum uint64
-	probe := m.Run(threads, func(t *machine.Thread) {
+	perMatches := make([]uint64, threads)
+	perChecksum := make([]uint64, threads)
+	probe := m.RunParallel(threads, func(t *machine.Thread) {
 		n := len(s)
 		lo, hi := n*t.ID()/threads, n*(t.ID()+1)/threads
 		out := &outs[t.ID()]
@@ -38,11 +41,16 @@ func IndexJoin(m *machine.Machine, kind index.Kind, tables datagen.JoinTables) J
 			t.Read(sAddr+uint64(i)*recordBytes, recordBytes)
 			if rv, ok := idx.Lookup(t, s[i].Key); ok {
 				out.push(t, rv)
-				matches++
-				checksum += rv + s[i].Val
+				perMatches[t.ID()]++
+				perChecksum[t.ID()] += rv + s[i].Val
 			}
 		}
 	})
+	var matches, checksum uint64
+	for i := 0; i < threads; i++ {
+		matches += perMatches[i]
+		checksum += perChecksum[i]
+	}
 
 	res := probe
 	res.WallCycles += build.WallCycles

@@ -47,10 +47,13 @@ func HashJoin(m *machine.Machine, spec JoinSpec) JoinOutcome {
 		}
 	})
 
+	// The probe phase only reads the table's Go-side state (the build is
+	// complete) and accumulates into per-thread slots, so it runs under
+	// RunParallel: node groups may probe concurrently on the host.
 	outs := make([]vec, threads)
-	var matches uint64
-	var checksum uint64
-	probe := m.Run(threads, func(t *machine.Thread) {
+	perMatches := make([]uint64, threads)
+	perChecksum := make([]uint64, threads)
+	probe := m.RunParallel(threads, func(t *machine.Thread) {
 		n := len(s)
 		lo, hi := n*t.ID()/threads, n*(t.ID()+1)/threads
 		out := &outs[t.ID()]
@@ -60,11 +63,16 @@ func HashJoin(m *machine.Machine, spec JoinSpec) JoinOutcome {
 				// Materialize the joined tuple into the thread-local
 				// output buffer.
 				out.push(t, uint64(ri))
-				matches++
-				checksum += r[ri].Val + s[i].Val
+				perMatches[t.ID()]++
+				perChecksum[t.ID()] += r[ri].Val + s[i].Val
 			}
 		}
 	})
+	var matches, checksum uint64
+	for i := 0; i < threads; i++ {
+		matches += perMatches[i]
+		checksum += perChecksum[i]
+	}
 
 	res := probe
 	res.WallCycles += create.WallCycles + build.WallCycles

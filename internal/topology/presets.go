@@ -55,6 +55,55 @@ func MachineC() *Topology {
 	})
 }
 
+// MachineD returns an 8-node chiplet topology modeled on a two-socket
+// EPYC-class box: each socket is a 4-node fully connected on-package mesh
+// (sub-NUMA domains one hop apart at near-local latency), and the sockets
+// join through a single cross-package link between nodes 0 and 4. Crossing
+// the package boundary costs 2.1x local, and reaching a non-gateway node of
+// the remote socket adds an on-package hop on top (2.5x).
+func MachineD() *Topology {
+	links := fullMesh(4)
+	for _, l := range fullMesh(4) {
+		links = append(links, [2]int{l[0] + 4, l[1] + 4})
+	}
+	links = append(links, [2]int{0, 4})
+	return MustNew(Config{
+		Name:             "Machine D",
+		Nodes:            8,
+		Links:            links,
+		HopLatency:       []float64{1.0, 1.28, 2.1, 2.5},
+		LinkBandwidthGTs: 16.0,
+	})
+}
+
+// MachineE returns a 16-node 4x4 grid mesh, the shape of a large mesh
+// interconnect (or a multi-board fabric) where each node links only to its
+// grid neighbours. The diameter is 6 hops and latency climbs gently but
+// strictly with distance, so placement quality matters more than on any of
+// the paper's three machines.
+func MachineE() *Topology {
+	var links [][2]int
+	const side = 4
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				links = append(links, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < side {
+				links = append(links, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustNew(Config{
+		Name:             "Machine E",
+		Nodes:            16,
+		Links:            links,
+		HopLatency:       []float64{1.0, 1.15, 1.35, 1.6, 1.9, 2.25, 2.65},
+		LinkBandwidthGTs: 25.0,
+	})
+}
+
 func fullMesh(n int) [][2]int {
 	var links [][2]int
 	for a := 0; a < n; a++ {

@@ -1,0 +1,130 @@
+package topology
+
+import "testing"
+
+// allPresets returns every machine preset the repository ships.
+func allPresets() []*Topology {
+	return []*Topology{MachineA(), MachineB(), MachineC(), MachineD(), MachineE()}
+}
+
+// TestPresetStructuralProperties validates the invariants every preset's
+// hop and latency matrices must satisfy: symmetry, a zero/unit diagonal,
+// positive off-diagonal distances, the triangle inequality on latency,
+// latency monotone (strictly) in hop distance, and a positive link
+// bandwidth. A preset edit that breaks any of these would silently skew
+// every experiment run on that machine.
+func TestPresetStructuralProperties(t *testing.T) {
+	for _, topo := range allPresets() {
+		t.Run(topo.Name(), func(t *testing.T) {
+			n := topo.Nodes()
+			if topo.LinkBandwidthGTs() <= 0 {
+				t.Errorf("link bandwidth %v, want > 0", topo.LinkBandwidthGTs())
+			}
+			for a := 0; a < n; a++ {
+				if h := topo.Hops(NodeID(a), NodeID(a)); h != 0 {
+					t.Errorf("Hops(%d,%d) = %d, want 0", a, a, h)
+				}
+				if l := topo.Latency(NodeID(a), NodeID(a)); l != 1.0 {
+					t.Errorf("Latency(%d,%d) = %v, want 1.0", a, a, l)
+				}
+				for b := 0; b < n; b++ {
+					ha, hb := topo.Hops(NodeID(a), NodeID(b)), topo.Hops(NodeID(b), NodeID(a))
+					if ha != hb {
+						t.Errorf("hop matrix asymmetric: (%d,%d)=%d vs (%d,%d)=%d", a, b, ha, b, a, hb)
+					}
+					la, lb := topo.Latency(NodeID(a), NodeID(b)), topo.Latency(NodeID(b), NodeID(a))
+					if la != lb {
+						t.Errorf("latency matrix asymmetric: (%d,%d)=%v vs (%d,%d)=%v", a, b, la, b, a, lb)
+					}
+					if a != b && (ha < 1 || la <= 1.0) {
+						t.Errorf("remote pair (%d,%d): hops=%d latency=%v, want >=1 hop and >1.0x", a, b, ha, la)
+					}
+				}
+			}
+			// Triangle inequality: relaying through any intermediate node
+			// must never be cheaper than the direct latency, or the
+			// simulated interconnect would reward absurd routings.
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					for c := 0; c < n; c++ {
+						direct := topo.Latency(NodeID(a), NodeID(c))
+						relay := topo.Latency(NodeID(a), NodeID(b)) + topo.Latency(NodeID(b), NodeID(c))
+						if direct > relay+1e-12 {
+							t.Fatalf("triangle inequality violated: lat(%d,%d)=%v > lat(%d,%d)+lat(%d,%d)=%v",
+								a, c, direct, a, b, b, c, relay)
+						}
+					}
+				}
+			}
+			// Latency strictly monotone in hop distance: more hops must
+			// cost strictly more, over every hop count the preset realizes.
+			byHops := map[int]float64{}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					h := topo.Hops(NodeID(a), NodeID(b))
+					l := topo.Latency(NodeID(a), NodeID(b))
+					if prev, ok := byHops[h]; ok && prev != l {
+						t.Fatalf("hop count %d maps to two latencies: %v and %v", h, prev, l)
+					}
+					byHops[h] = l
+				}
+			}
+			for h := 1; h <= topo.Diameter(); h++ {
+				lo, okLo := byHops[h-1]
+				hi, okHi := byHops[h]
+				if okLo && okHi && hi <= lo {
+					t.Errorf("latency not strictly monotone: %d hops = %v, %d hops = %v", h-1, lo, h, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestPresetShapes pins each preset's headline numbers so a preset edit
+// is a conscious decision, not an accident.
+func TestPresetShapes(t *testing.T) {
+	cases := []struct {
+		topo     *Topology
+		nodes    int
+		diameter int
+	}{
+		{MachineA(), 8, 3},
+		{MachineB(), 4, 1},
+		{MachineC(), 4, 1},
+		{MachineD(), 8, 3},
+		{MachineE(), 16, 6},
+	}
+	for _, c := range cases {
+		if got := c.topo.Nodes(); got != c.nodes {
+			t.Errorf("%s: %d nodes, want %d", c.topo.Name(), got, c.nodes)
+		}
+		if got := c.topo.Diameter(); got != c.diameter {
+			t.Errorf("%s: diameter %d, want %d", c.topo.Name(), got, c.diameter)
+		}
+	}
+}
+
+// TestMachineDChipletStructure checks D's two-socket shape: on-package
+// pairs are one hop, the only cross-package link is 0-4, and every
+// cross-package route crosses it.
+func TestMachineDChipletStructure(t *testing.T) {
+	topo := MachineD()
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if a == b {
+				continue
+			}
+			samePkg := (a < 4) == (b < 4)
+			h := topo.Hops(NodeID(a), NodeID(b))
+			if samePkg && h != 1 {
+				t.Errorf("on-package pair (%d,%d): %d hops, want 1", a, b, h)
+			}
+			if !samePkg && h < 2 && !(a == 0 && b == 4 || a == 4 && b == 0) {
+				t.Errorf("cross-package pair (%d,%d): %d hops, want >= 2", a, b, h)
+			}
+		}
+	}
+	if !topo.Linked(0, 4) {
+		t.Error("gateway link 0-4 missing")
+	}
+}

@@ -122,7 +122,8 @@ func WorkloadIDs() []string {
 	return ids
 }
 
-// MachineFor builds a fresh simulated machine by letter (A, B or C).
+// MachineFor builds a fresh simulated machine by letter: the paper's A, B
+// and C, or the large-topology extensions D (chiplet) and E (grid mesh).
 func MachineFor(letter string) (*machine.Machine, error) {
 	switch letter {
 	case "A", "a":
@@ -131,8 +132,12 @@ func MachineFor(letter string) (*machine.Machine, error) {
 		return machine.NewB(), nil
 	case "C", "c":
 		return machine.NewC(), nil
+	case "D", "d":
+		return machine.NewD(), nil
+	case "E", "e":
+		return machine.NewE(), nil
 	}
-	return nil, fmt.Errorf("tune: unknown machine %q (have A, B, C)", letter)
+	return nil, fmt.Errorf("tune: unknown machine %q (have A, B, C, D, E)", letter)
 }
 
 // TrialKey is the identity of one measurement: everything that determines
